@@ -1,0 +1,59 @@
+// Command muxbench regenerates the paper's tables and figures from the
+// simulator and prints paper-comparable rows.
+//
+// Usage:
+//
+//	muxbench -list
+//	muxbench -run fig14            # one experiment
+//	muxbench -run all              # everything (minutes)
+//	muxbench -run fig15 -quick     # reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"muxwise/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale (CI-sized traces and sweeps)")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Paper)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	opts := experiments.Opts{Quick: *quick}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.Registry()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Paper)
+		for _, t := range e.Run(opts) {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

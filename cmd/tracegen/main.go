@@ -1,0 +1,84 @@
+// Command tracegen emits a generated workload trace as JSON lines, one
+// request per line, for inspection or external replay.
+//
+//	tracegen -workload conversation -n 100 -rate 1 > trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"muxwise"
+)
+
+// record is the serialized view of one request.
+type record struct {
+	ID      int     `json:"id"`
+	Session int     `json:"session"`
+	Turn    int     `json:"turn"`
+	Arrival float64 `json:"arrival_s"`
+	Input   int     `json:"input_tokens"`
+	Reused  int     `json:"reused_tokens"`
+	Output  int     `json:"output_tokens"`
+	Dataset string  `json:"dataset"`
+}
+
+func main() {
+	wl := flag.String("workload", "sharegpt", "sharegpt, loogle, openthoughts, conversation, toolagent")
+	n := flag.Int("n", 100, "requests (single-turn) or sessions (multi-turn)")
+	rate := flag.Float64("rate", 1, "Poisson arrival rate, req/s (0 = bursty Fig.13 profile)")
+	scale := flag.Float64("scale", 1, "profile scale when -rate 0")
+	seed := flag.Uint64("seed", 1, "random seed")
+	stats := flag.Bool("stats", false, "print Table 1 statistics instead of requests")
+	flag.Parse()
+
+	var trace *muxwise.Trace
+	switch strings.ToLower(*wl) {
+	case "sharegpt":
+		trace = muxwise.ShareGPT(*seed, *n)
+	case "loogle":
+		trace = muxwise.LooGLE(*seed, *n)
+	case "openthoughts":
+		trace = muxwise.OpenThoughts(*seed, *n)
+	case "conversation":
+		trace = muxwise.Conversation(*seed, *n)
+	case "toolagent":
+		trace = muxwise.ToolAgent(*seed, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+	if *rate > 0 {
+		trace = trace.WithPoissonArrivals(*seed, *rate)
+	} else {
+		profile := muxwise.ConversationProfile(*scale)
+		if strings.ToLower(*wl) == "toolagent" {
+			profile = muxwise.ToolAgentProfile(*scale)
+		}
+		trace = trace.WithProfileArrivals(*seed, profile)
+	}
+
+	if *stats {
+		fmt.Println(trace.Name, trace.Stats())
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for _, r := range trace.Requests {
+		rec := record{
+			ID: r.ID, Session: r.Session, Turn: r.Turn,
+			Arrival: r.Arrival.Seconds(),
+			Input:   r.InputTokens, Reused: r.ReusedTokens, Output: r.OutputTokens,
+			Dataset: r.Dataset,
+		}
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Multiturn: the paper's motivating scenario — multi-turn agent sessions
+// whose context grows turn over turn. Compares MuxWise against
+// chunked-prefill and static disaggregation on the same Tool&Agent trace
+// with a 100 ms TBT SLO on Llama-70B. Demonstrates why KV-cache reuse
+// across requests and dynamic compute partitioning together decide TTFT.
+//
+//	go run ./examples/multiturn
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"muxwise"
+)
+
+func main() {
+	dep := muxwise.Deployment{
+		Hardware: "A100",
+		GPUs:     8,
+		Model:    "Llama-70B",
+		SLO: muxwise.SLO{
+			TTFT: muxwise.Second,
+			TBT:  100 * muxwise.Millisecond,
+		},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tp99 TTFT(s)\tp99 TBT(ms)\tTBT attain%\tstate")
+	for _, engine := range []string{"MuxWise", "Chunked", "SGLang-PD", "LoongServe"} {
+		// 400 sessions, ~2.2 turns each, Poisson arrivals at 0.35 req/s.
+		trace := muxwise.ToolAgent(7, 400).WithPoissonArrivals(7, 0.35)
+		res, err := muxwise.Serve(engine, dep, trace)
+		if err != nil {
+			panic(err)
+		}
+		s := res.Summary
+		state := "stable"
+		if s.Unstable {
+			state = "UNSTABLE"
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%.1f\t%s\n",
+			engine, s.TTFT.P99, s.TBT.P99*1e3,
+			res.Rec.TBTAttainment(dep.SLO.TBT)*100, state)
+	}
+	w.Flush()
+	fmt.Println("\nMuxWise keeps one KV pool (multi-turn prefixes hit the radix cache)")
+	fmt.Println("and gives decode just enough SMs to hold its SLO, so prefill gets the rest.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: serve a ShareGPT chatbot workload with MuxWise on a
+// simulated 8×A100 server and print the latency summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"muxwise"
+)
+
+func main() {
+	// Generate 500 chatbot requests arriving at 5 req/s (Poisson).
+	trace := muxwise.ShareGPT(42, 500).WithPoissonArrivals(42, 5)
+
+	dep := muxwise.Deployment{
+		Hardware: "A100",
+		GPUs:     8,
+		Model:    "Llama-8B",
+		SLO: muxwise.SLO{
+			TTFT: 500 * muxwise.Millisecond,
+			TBT:  50 * muxwise.Millisecond,
+		},
+	}
+
+	res, err := muxwise.Serve("MuxWise", dep, trace)
+	if err != nil {
+		panic(err)
+	}
+
+	s := res.Summary
+	fmt.Printf("served %d requests in %.1fs of simulated time\n", s.Finished, s.Makespan.Seconds())
+	fmt.Printf("TTFT  %s\n", s.TTFT)
+	fmt.Printf("TBT   %s\n", s.TBT)
+	fmt.Printf("TPOT  %s\n", s.TPOT)
+	fmt.Printf("E2E   %s\n", s.E2E)
+	fmt.Printf("throughput %.0f tokens/s, TBT SLO attainment %.2f%%\n",
+		s.TokensPerSecond, res.Rec.TBTAttainment(dep.SLO.TBT)*100)
+	fmt.Printf("partition reconfigurations: %d (%d distinct splits)\n",
+		res.Timeline.Changes(), res.Timeline.DistinctConfigs())
+}

@@ -1,0 +1,279 @@
+// Package chunked implements the SARATHI-Serve chunked-prefill baseline
+// as shipped in SGLang (§2.3.2, §4.1): the prefill phase is split into
+// chunks capped by a token budget and each chunk is fused with one decode
+// iteration into a single kernel. To stay computationally equivalent,
+// every chunk re-reads the KV cache of all previously processed tokens —
+// the quadratic overhead behind Fig. 6b. The engine shares one KV pool
+// across phases and requests (SGLang radix cache), so its weakness is
+// purely the SLO-vs-utilization dilemma of the token budget.
+package chunked
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/workload"
+)
+
+// Engine is the chunked-prefill baseline.
+type Engine struct {
+	env    *serve.Env
+	budget int
+
+	// EngineName overrides Name (used by derived baselines).
+	EngineName string
+	// Transform rewrites an iteration's kernel cost before launch and may
+	// override its MFU; NanoFlow uses it to model nano-batch weight
+	// reloads and its compute/memory overlap bonus. chunkTokens is the
+	// chunk's share of the iteration (0 for pure decode).
+	Transform func(cost model.Cost, chunkTokens int) (model.Cost, float64)
+
+	dev  *gpu.Device
+	part *gpu.Partition
+	pool *kvcache.Pool
+
+	decode  serve.Batch
+	queue   []*serve.Running // prefill in FIFO order, head is chunking
+	pending []*workload.Request
+	running bool
+}
+
+// BudgetFor returns the paper's offline-tuned token budget for a TBT SLO:
+// the largest power-of-two budget whose fused iteration stays within the
+// target on the deployed model (§4.1 follows SARATHI-Serve's method; the
+// evaluation lands on 256 for Llama-70B at 100 ms and SGLang-typical
+// 2048/4096 only under loose SLOs).
+func BudgetFor(env *serve.Env) int {
+	est := newProbe(env)
+	budget := 64
+	for b := 64; b <= 8192; b *= 2 {
+		// Representative fused iteration: decode bs=32 with 1K contexts.
+		if est.fusedLatency(b, 32, 1024) <= env.SLO.TBT.Seconds() {
+			budget = b
+		}
+	}
+	return budget
+}
+
+// New builds a chunked-prefill engine with the budget tuned offline for
+// the environment's TBT SLO.
+func New(env *serve.Env) serve.Engine { return NewWithBudget(env, BudgetFor(env)) }
+
+// NewWithBudget builds the engine with an explicit token budget (used by
+// the Fig. 6 sweeps and the NanoFlow configuration).
+func NewWithBudget(env *serve.Env, budget int) *Engine {
+	dev := gpu.NewDevice(env.Sim, env.Spec, env.GPUs, "chunked")
+	return &Engine{
+		env:    env,
+		budget: budget,
+		dev:    dev,
+		part:   dev.Partition(env.Spec.SMs, "fused"),
+		pool:   kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
+	}
+}
+
+// Name implements serve.Engine.
+func (e *Engine) Name() string {
+	if e.EngineName != "" {
+		return e.EngineName
+	}
+	return "Chunked"
+}
+
+// Timeline implements serve.Engine (static full-device execution).
+func (e *Engine) Timeline() *metrics.Timeline { return &metrics.Timeline{} }
+
+// Devices implements serve.Engine.
+func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
+
+// Pool exposes the KV pool.
+func (e *Engine) Pool() *kvcache.Pool { return e.pool }
+
+// Partition exposes the single fused compute stream (bubble accounting).
+func (e *Engine) Partition() *gpu.Partition { return e.part }
+
+// Budget returns the tuned token budget.
+func (e *Engine) Budget() int { return e.budget }
+
+// Submit implements serve.Engine.
+func (e *Engine) Submit(r *workload.Request) {
+	e.pending = append(e.pending, r)
+	e.admit()
+	e.step()
+}
+
+func (e *Engine) admit() {
+	for len(e.pending) > 0 {
+		if e.decode.Size()+len(e.queue) >= e.env.MaxBatch {
+			return
+		}
+		run := serve.Admit(e.pool, e.pending[0])
+		if run == nil {
+			return
+		}
+		e.pending = e.pending[1:]
+		e.queue = append(e.queue, run)
+	}
+}
+
+// step launches the next fused iteration: one decode step for the whole
+// batch plus a prefill chunk from the queue head(s) filling the budget.
+func (e *Engine) step() {
+	if e.running {
+		return
+	}
+	if e.decode.Size() == 0 && len(e.queue) == 0 {
+		return
+	}
+	chunkBudget := e.budget - e.decode.Size()
+	if chunkBudget < 0 {
+		chunkBudget = 0
+	}
+
+	// Assemble the chunk: requests from the queue head, possibly several
+	// if the head finishes its prefill inside the budget.
+	var chunkSeqs []model.Seq
+	var progressed []progress
+	for _, run := range e.queue {
+		if chunkBudget <= 0 {
+			break
+		}
+		newTotal := run.R.InputTokens - run.CachedTokens
+		rem := newTotal - run.PrefilledTokens
+		if rem < 1 {
+			rem = 1
+		}
+		take := rem
+		if take > chunkBudget {
+			take = chunkBudget
+		}
+		chunkSeqs = append(chunkSeqs, model.Seq{New: take, Prior: run.PrefilledTokens, Reused: run.CachedTokens})
+		progressed = append(progressed, progress{run, take})
+		chunkBudget -= take
+	}
+
+	var cost model.Cost
+	if len(chunkSeqs) == 1 {
+		cost = e.env.Arch.FusedChunkIter(chunkSeqs[0], e.decode.Ctxs(), e.env.GPUs)
+	} else {
+		// Multiple chunk slices: accumulate each without re-paying
+		// weights (the iteration streams them once).
+		cost = e.env.Arch.FusedChunkIter(model.Seq{}, e.decode.Ctxs(), e.env.GPUs)
+		for _, sq := range chunkSeqs {
+			layer := e.env.Arch.PrefillLayer([]model.Seq{sq}, e.env.GPUs, false)
+			part := layer.Scale(float64(e.env.Arch.Layers))
+			cost.Add(part)
+			cost.Tokens += sq.New
+		}
+		if e.decode.Size() == 0 && len(chunkSeqs) > 0 {
+			cost.Bytes += float64(e.env.Arch.Layers) * e.env.Arch.LayerWeightBytes()
+		}
+	}
+	if cost.Tokens == 0 && e.decode.Size() == 0 {
+		return
+	}
+
+	// Pure-decode iterations behave like decode graphs; iterations with
+	// a chunk take the prefill efficiency curve over the fused tokens.
+	kind := gpu.Prefill
+	if len(chunkSeqs) == 0 {
+		kind = gpu.Decode
+	}
+	chunkTokens := 0
+	for _, sq := range chunkSeqs {
+		chunkTokens += sq.New
+	}
+	mfu := 0.0
+	if e.Transform != nil {
+		cost, mfu = e.Transform(cost, chunkTokens)
+	}
+	e.running = true
+	e.part.Launch(gpu.Kernel{
+		Label: "fused-iter", Kind: kind,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch, MFU: mfu,
+	}, func() { e.onIterDone(progressed) })
+}
+
+// progress records how many chunk tokens an iteration advanced a request.
+type progress struct {
+	run  *serve.Running
+	take int
+}
+
+// onIterDone finishes one fused iteration: decode tokens for the batch,
+// chunk progress for the head requests, and promotion of completed
+// prefills into the decode batch.
+func (e *Engine) onIterDone(chunks []progress) {
+	now := e.env.Sim.Now()
+	e.running = false
+
+	finished := e.decode.Step(now, e.env.Rec)
+	for _, r := range finished {
+		r.Complete(e.pool)
+	}
+
+	for _, c := range chunks {
+		c.run.PrefilledTokens += c.take
+		if c.run.PrefillRemaining() == 0 {
+			// Prefill complete: first token now.
+			e.queue = removeRun(e.queue, c.run)
+			e.env.Rec.PrefillDone(c.run.R.InputTokens - c.run.CachedTokens)
+			e.env.Rec.Token(c.run.R.ID, now)
+			c.run.Generated = 1
+			if c.run.DecodeDone() {
+				e.env.Rec.Finish(c.run.R.ID, now)
+				c.run.Complete(e.pool)
+				continue
+			}
+			e.decode.Add(c.run)
+		}
+	}
+	e.admit()
+	e.step()
+}
+
+func removeRun(q []*serve.Running, r *serve.Running) []*serve.Running {
+	for i, v := range q {
+		if v == r {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// probe estimates fused-iteration latency analytically for budget tuning
+// (the offline step SARATHI-Serve performs before deployment).
+type probe struct {
+	env *serve.Env
+}
+
+func newProbe(env *serve.Env) probe { return probe{env} }
+
+func (p probe) fusedLatency(budget, bs, ctx int) float64 {
+	ctxs := make([]int, bs)
+	for i := range ctxs {
+		ctxs[i] = ctx
+	}
+	chunk := model.Seq{New: budget - bs, Reused: 1024}
+	if chunk.New < 0 {
+		chunk.New = 0
+	}
+	cost := p.env.Arch.FusedChunkIter(chunk, ctxs, p.env.GPUs)
+
+	// Closed-form kernel time on the full device.
+	spec := p.env.Spec
+	tp := float64(p.env.GPUs)
+	tok := float64(cost.Tokens)
+	eff := spec.MFUPrefill * tok / (tok + spec.SatTokensPerSM*float64(spec.SMs)*tp)
+	compute := cost.FLOPs / (spec.TensorFLOPS * tp * eff)
+	mem := cost.Bytes / (spec.HBMBandwidth * tp)
+	comm := cost.CommBytes / spec.NVLinkBandwidth
+	lat := compute
+	if mem > lat {
+		lat = mem
+	}
+	return lat + comm + spec.GraphLaunch.Seconds()
+}

@@ -1,0 +1,534 @@
+// Package core implements MuxWise: intra-GPU prefill-decode multiplexing
+// (§3). The engine couples three modules:
+//
+//   - the bubble-less multiplex engine (§3.2): prefill executes layer by
+//     layer on its own SM partition while decode iterations run as CUDA
+//     graphs on the complementary partition; query-based synchronization
+//     merges finished prefills into the decode batch at iteration
+//     boundaries without stalling either stream, and layer granularity
+//     enables preemption of ultra-long prefills;
+//   - the contention-tolerant estimator (§3.3), supplying worst-case
+//     decode latencies (solo prediction × contention-guard factor);
+//   - the SLO-aware dispatcher (§3.4): at every decode iteration boundary
+//     and prefill batch completion it reserves the best-fit (smallest)
+//     decode partition whose worst-case TBT meets the SLO and gives all
+//     remaining SMs to prefill.
+//
+// Options toggle the bubble-less mechanisms for the Fig. 19/20 ablations.
+package core
+
+import (
+	"muxwise/internal/estimator"
+	"muxwise/internal/gpu"
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Options select engine variants for ablation studies.
+type Options struct {
+	// LayerWise executes prefill as per-layer piecewise CUDA graphs
+	// (§3.2.3). When false, prefill launches as one monolithic phase
+	// whose host launch blocks other launches and which cannot be
+	// preempted or reclaimed.
+	LayerWise bool
+	// QuerySync merges finished prefills at decode iteration boundaries
+	// by polling CUDA events. When false, the next decode iteration
+	// blocks until the in-flight prefill phase completes.
+	QuerySync bool
+	// Preemption lets a short prefill batch preempt an ultra-long one at
+	// a layer boundary when queueing would violate its TTFT SLO (§3.4.2).
+	Preemption bool
+	// NoGuard disables the contention guard: the dispatcher sizes the
+	// decode partition from solo-run predictions alone, risking SLO
+	// violations from bandwidth contention (§3.3's motivation).
+	NoGuard bool
+}
+
+// DefaultOptions enables every mechanism, the shipping configuration.
+func DefaultOptions() Options {
+	return Options{LayerWise: true, QuerySync: true, Preemption: true}
+}
+
+// maxPrefillBatchTokens caps the new tokens bundled into one prefill
+// batch, mirroring SGLang's max prefill budget.
+const maxPrefillBatchTokens = 16384
+
+// prefillJob is one prefill batch progressing layer by layer.
+type prefillJob struct {
+	reqs []*serve.Running
+	seqs []model.Seq
+
+	layersDone  int
+	layersInAir int
+	isPreemptor bool
+	arrival     sim.Time
+}
+
+// newTokens returns the batch's total new context tokens.
+func (j *prefillJob) newTokens() int {
+	t := 0
+	for _, s := range j.seqs {
+		t += s.New
+	}
+	return t
+}
+
+// reusedTokens returns the batch's total reused context tokens.
+func (j *prefillJob) reusedTokens() int {
+	t := 0
+	for _, s := range j.seqs {
+		t += s.Reused
+	}
+	return t
+}
+
+// Engine is the MuxWise serving engine for one tensor-parallel instance.
+type Engine struct {
+	env  *serve.Env
+	opts Options
+
+	dev      *gpu.Device
+	decodeP  *gpu.Partition
+	prefillP *gpu.Partition
+	pool     *kvcache.Pool
+	est      *estimator.Estimator
+
+	decode          serve.Batch
+	decodeRunning   bool
+	decodeIterStart sim.Time
+	decodeSolo      sim.Time
+
+	active  *prefillJob   // job whose layers are executing
+	queue   []*prefillJob // admitted jobs waiting for the prefill stream
+	merging []*prefillJob // prefill-complete jobs awaiting a decode boundary
+	pending []*workload.Request
+
+	timeline    metrics.Timeline
+	configs     []int
+	curConfig   int
+	preemptions int
+}
+
+// Preemptions returns how many prefill batches preempted another.
+func (e *Engine) Preemptions() int { return e.preemptions }
+
+// New builds a MuxWise engine with default options.
+func New(env *serve.Env) serve.Engine { return NewWithOptions(env, DefaultOptions()) }
+
+// NewWithOptions builds a MuxWise engine with explicit ablation options.
+func NewWithOptions(env *serve.Env, opts Options) *Engine {
+	dev := gpu.NewDevice(env.Sim, env.Spec, env.GPUs, "muxwise")
+	e := &Engine{
+		env:  env,
+		opts: opts,
+		dev:  dev,
+		pool: kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
+		est:  estimator.New(env.Spec, env.GPUs, env.Arch),
+	}
+	e.configs = env.Spec.PartitionSizes()
+	e.curConfig = env.Spec.SMs
+	e.decodeP = dev.Partition(env.Spec.SMs, "decode")
+	e.prefillP = dev.Partition(0, "prefill")
+	e.timeline.Record(0, env.Spec.SMs, 0)
+	return e
+}
+
+// Name implements serve.Engine.
+func (e *Engine) Name() string {
+	switch {
+	case !e.opts.LayerWise && !e.opts.QuerySync:
+		return "MuxWise w/o B&Q"
+	case !e.opts.LayerWise:
+		return "MuxWise w/o B"
+	case !e.opts.Preemption:
+		return "MuxWise w/o P"
+	default:
+		return "MuxWise"
+	}
+}
+
+// Timeline implements serve.Engine.
+func (e *Engine) Timeline() *metrics.Timeline { return &e.timeline }
+
+// Devices implements serve.Engine.
+func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
+
+// Pool exposes the shared KV pool (tests, cache statistics).
+func (e *Engine) Pool() *kvcache.Pool { return e.pool }
+
+// DecodePartition exposes the decode green context for bubble accounting.
+func (e *Engine) DecodePartition() *gpu.Partition { return e.decodeP }
+
+// PrefillPartition exposes the prefill green context.
+func (e *Engine) PrefillPartition() *gpu.Partition { return e.prefillP }
+
+// Submit implements serve.Engine.
+func (e *Engine) Submit(r *workload.Request) {
+	e.pending = append(e.pending, r)
+	e.admitPending()
+	e.schedule()
+}
+
+// hasPrefillWork reports whether any prefill batch needs compute.
+func (e *Engine) hasPrefillWork() bool { return e.active != nil || len(e.queue) > 0 }
+
+// admitPending admits as many queued arrivals as the KV pool allows,
+// forming prefill jobs.
+func (e *Engine) admitPending() {
+	for len(e.pending) > 0 {
+		if e.inflight() >= e.env.MaxBatch {
+			return
+		}
+		r := e.pending[0]
+		run := serve.Admit(e.pool, r)
+		if run == nil {
+			return // pool full; retry on completion
+		}
+		e.pending = e.pending[1:]
+		e.enqueue(run)
+	}
+}
+
+// inflight counts requests holding batch slots.
+func (e *Engine) inflight() int {
+	n := e.decode.Size()
+	if e.active != nil {
+		n += len(e.active.reqs)
+	}
+	for _, j := range e.queue {
+		n += len(j.reqs)
+	}
+	for _, j := range e.merging {
+		n += len(j.reqs)
+	}
+	return n
+}
+
+// enqueue wraps an admitted request into a prefill job, batching it with
+// the most recent waiting job when the token budget allows, and applies
+// the preemption policy.
+func (e *Engine) enqueue(run *serve.Running) {
+	newTok := run.R.InputTokens - run.CachedTokens
+	if newTok < 1 {
+		newTok = 1
+	}
+	seq := model.Seq{New: newTok, Reused: run.CachedTokens}
+	if n := len(e.queue); n > 0 {
+		last := e.queue[n-1]
+		if !last.isPreemptor && last.newTokens()+seq.New <= maxPrefillBatchTokens {
+			last.reqs = append(last.reqs, run)
+			last.seqs = append(last.seqs, seq)
+			return
+		}
+	}
+	job := &prefillJob{
+		reqs:    []*serve.Running{run},
+		seqs:    []model.Seq{seq},
+		arrival: e.env.Sim.Now(),
+	}
+	e.queue = append(e.queue, job)
+	e.maybePreempt(job)
+}
+
+// deadline returns a prefill batch's TTFT deadline: the SLO target plus a
+// slack proportional to the batch's own full-device service demand, so an
+// 80K-token prefill is not judged by a chatbot deadline (the per-token
+// TTFT view of §4.4.3).
+func (e *Engine) deadline(j *prefillJob) sim.Time {
+	own := e.est.PrefillPhase(j.seqs, e.env.Spec.SMs)
+	return j.arrival + e.env.SLO.TTFT + sim.Time(1.2*float64(own))
+}
+
+// maybePreempt moves job to the head of the prefill stream if waiting
+// would violate its TTFT deadline, the active job tolerates the pause,
+// and no preemption is already in force (§3.4.2, non-recursive).
+func (e *Engine) maybePreempt(job *prefillJob) {
+	if !e.opts.Preemption || !e.opts.LayerWise {
+		return
+	}
+	a := e.active
+	if a == nil || a.isPreemptor || len(e.queue) == 0 || e.queue[len(e.queue)-1] != job {
+		return
+	}
+	if e.env.SLO.TTFT <= 0 {
+		return
+	}
+	now := e.env.Sim.Now()
+	prefSMs := e.prefillSMs()
+	if prefSMs <= 0 {
+		prefSMs = e.env.Spec.SMs - e.configs[len(e.configs)/2]
+	}
+	// Wait if not preempting: remaining layers of the active job plus
+	// everything queued ahead.
+	rem := e.est.PrefillPhase(a.seqs, prefSMs)
+	wait := sim.Time(float64(rem) * float64(e.env.Arch.Layers-a.layersDone) / float64(e.env.Arch.Layers))
+	for _, q := range e.queue[:len(e.queue)-1] {
+		wait += e.est.PrefillPhase(q.seqs, prefSMs)
+	}
+	own := e.est.PrefillPhase(job.seqs, prefSMs)
+	if now+wait+own <= e.deadline(job) {
+		return // queueing meets the deadline; no preemption needed
+	}
+	// The pause must be tolerable for the active job: either it still
+	// meets its own deadline, or the preemptor is short relative to the
+	// active job's remaining work (the "short preempts long" pattern of
+	// §3.4.2 — a long job is barely delayed by a short one, while the
+	// converse would wreck the short request's TTFT).
+	aRem := sim.Time(float64(rem) * float64(e.env.Arch.Layers-a.layersDone) / float64(e.env.Arch.Layers))
+	meetsOwn := now+own+aRem <= e.deadline(a)
+	short := own*2 <= aRem
+	if !meetsOwn && !short {
+		return
+	}
+	e.preemptions++
+	job.isPreemptor = true
+	// Pause the active job: it re-enters the queue right behind the
+	// preemptor and later resumes from layersDone.
+	e.queue = e.queue[:len(e.queue)-1]
+	e.queue = append([]*prefillJob{job, a}, e.queue...)
+	e.active = nil // in-air layers drain, then the preemptor runs
+}
+
+// prefillSMs returns the SMs the prefill partition would own under the
+// current split.
+func (e *Engine) prefillSMs() int {
+	if e.decode.Size() == 0 && !e.decodeRunning {
+		return e.env.Spec.SMs
+	}
+	return e.env.Spec.SMs - e.curConfig
+}
+
+// schedule is the dispatcher entry point, invoked at arrivals, decode
+// iteration boundaries, and prefill completions.
+func (e *Engine) schedule() {
+	e.startDecode()
+	e.pumpPrefill()
+}
+
+// chooseConfig picks the smallest decode partition whose worst-case TBT
+// meets the SLO given the co-running prefill shape.
+func (e *Engine) chooseConfig() int {
+	if !e.hasPrefillWork() {
+		return e.env.Spec.SMs // no prefill: decode owns the device
+	}
+	bs := e.decode.Size()
+	totalCtx := e.decode.TotalCtx()
+	pNew, pReused := 0, 0
+	if e.active != nil {
+		pNew, pReused = e.active.newTokens(), e.active.reusedTokens()
+	} else if len(e.queue) > 0 {
+		pNew, pReused = e.queue[0].newTokens(), e.queue[0].reusedTokens()
+	}
+	margin := e.env.Spec.GraphLaunch + sim.Millisecond
+	for _, cfg := range e.configs {
+		worst := e.est.DecodeWorst(totalCtx, bs, cfg, pNew, pReused)
+		if e.opts.NoGuard {
+			worst = e.est.DecodeSolo(totalCtx, bs, cfg)
+		}
+		if worst+margin <= e.env.SLO.TBT {
+			return cfg
+		}
+	}
+	return e.configs[len(e.configs)-1]
+}
+
+// reconfigure applies a partition split, recording the timeline. Sizes
+// take effect for kernels that begin executing afterwards.
+func (e *Engine) reconfigure(decodeSMs int) {
+	prefillSMs := e.env.Spec.SMs - decodeSMs
+	e.curConfig = decodeSMs
+	e.decodeP.SetSMs(decodeSMs)
+	e.prefillP.SetSMs(prefillSMs)
+	e.timeline.Record(e.env.Sim.Now(), decodeSMs, prefillSMs)
+}
+
+// startDecode launches the next decode iteration if one is due.
+func (e *Engine) startDecode() {
+	if e.decodeRunning || e.decode.Size() == 0 {
+		return
+	}
+	// Without query-based synchronization the next iteration blocks
+	// until the in-flight prefill phase completes (§3.2.3): the merge
+	// requires a synchronous join with the prefill stream.
+	if !e.opts.QuerySync && e.active != nil {
+		return // resumed by prefill completion
+	}
+	e.reconfigure(e.chooseConfig())
+
+	ctxs := e.decode.Ctxs()
+	cost := e.env.Arch.DecodeIter(ctxs, e.env.GPUs)
+	e.decodeRunning = true
+	e.decodeIterStart = e.env.Sim.Now()
+	e.decodeSolo = e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), e.curConfig)
+	e.decodeP.Launch(gpu.Kernel{
+		Label: "decode", Kind: gpu.Decode,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
+	}, e.onDecodeDone)
+}
+
+// onDecodeDone ends one decode iteration: emit tokens, refine the guard,
+// merge finished prefills (query sync), and continue.
+func (e *Engine) onDecodeDone() {
+	now := e.env.Sim.Now()
+	e.decodeRunning = false
+
+	// Runtime refinement of the contention guard (§3.3.2): observed
+	// iteration latency over predicted solo.
+	if e.active != nil && e.decodeSolo > 0 {
+		actual := now - e.decodeIterStart - e.env.Spec.GraphLaunch
+		slow := float64(actual) / float64(e.decodeSolo)
+		e.est.Guard().Observe(e.active.newTokens(), e.active.reusedTokens(),
+			e.decode.Size(), e.decode.TotalCtx(), e.curConfig, slow)
+	}
+
+	finished := e.decode.Step(now, e.env.Rec)
+	for _, r := range finished {
+		r.Complete(e.pool)
+	}
+	// Query-based synchronization: fold in prefills that completed while
+	// the iteration ran.
+	for _, j := range e.merging {
+		e.mergeJob(j)
+	}
+	e.merging = e.merging[:0]
+	if len(finished) > 0 {
+		e.admitPending()
+	}
+	e.schedule()
+}
+
+// mergeJob emits first tokens for the job's requests and moves the
+// still-generating ones into the decode batch.
+func (e *Engine) mergeJob(j *prefillJob) {
+	now := e.env.Sim.Now()
+	for i, r := range j.reqs {
+		e.env.Rec.PrefillDone(j.seqs[i].New)
+		e.env.Rec.Token(r.R.ID, now) // prefill produces the first token
+		r.Generated = 1
+		if r.DecodeDone() {
+			e.env.Rec.Finish(r.R.ID, now)
+			r.Complete(e.pool)
+			continue
+		}
+		e.decode.Add(r)
+	}
+	e.admitPending()
+}
+
+// pumpPrefill keeps the prefill stream fed with layer launches.
+func (e *Engine) pumpPrefill() {
+	for e.active == nil && len(e.queue) > 0 {
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		if j.layersDone >= e.env.Arch.Layers {
+			continue // completed while preempted; finishPrefill owns it
+		}
+		e.active = j
+	}
+	j := e.active
+	if j == nil {
+		return
+	}
+	// The prefill partition only has SMs after a reconfiguration. It
+	// takes the whole device when decode is idle — or when decode is
+	// deliberately blocked on the prefill phase (the w/o query-sync
+	// ablation serializes the phases, so prefill must not starve).
+	if !e.decodeRunning && (e.decode.Size() == 0 || !e.opts.QuerySync) {
+		e.reconfigure(0)
+	}
+	if e.prefillP.SMs() <= 0 {
+		return // wait for the next decode boundary to obtain a share
+	}
+	if !e.opts.LayerWise {
+		e.launchWholePhase(j)
+		return
+	}
+	// Target in-flight layers: enough to cover one decode iteration
+	// (N_PL = ceil(T_d·N_T / T_P), §3.4.2), at least 2 for pipelining.
+	nTarget := 2
+	if e.decode.Size() > 0 {
+		td := e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), e.curConfig)
+		tp := e.est.PrefillPhase(j.seqs, e.prefillP.SMs())
+		if tp > 0 {
+			n := int(float64(td)*float64(e.env.Arch.Layers)/float64(tp)) + 1
+			if n > nTarget {
+				nTarget = n
+			}
+		}
+	}
+	for j.layersInAir < nTarget && j.layersDone+j.layersInAir < e.env.Arch.Layers {
+		e.launchLayer(j)
+	}
+}
+
+// launchLayer issues one prefill layer kernel.
+func (e *Engine) launchLayer(j *prefillJob) {
+	cost := e.env.Arch.PrefillLayer(j.seqs, e.env.GPUs, true)
+	j.layersInAir++
+	e.prefillP.Launch(gpu.Kernel{
+		Label: "prefill-layer", Kind: gpu.Prefill,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.LayerLaunch,
+	}, func() { e.onLayerDone(j) })
+}
+
+// launchWholePhase issues a single monolithic prefill kernel (the
+// non-layer-wise ablation). Its host launch costs Layers·LayerLaunch and
+// blocks every later launch behind it.
+func (e *Engine) launchWholePhase(j *prefillJob) {
+	if j.layersInAir > 0 {
+		return
+	}
+	phase := e.env.Arch.PrefillPhase(j.seqs, e.env.GPUs)
+	j.layersInAir = e.env.Arch.Layers
+	e.prefillP.Launch(gpu.Kernel{
+		Label: "prefill-phase", Kind: gpu.Prefill,
+		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
+		Tokens: phase.Tokens,
+		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
+	}, func() {
+		j.layersInAir = 0
+		j.layersDone = e.env.Arch.Layers
+		e.finishPrefill(j)
+	})
+}
+
+// onLayerDone advances a job by one layer.
+func (e *Engine) onLayerDone(j *prefillJob) {
+	j.layersInAir--
+	j.layersDone++
+	if j.layersDone >= e.env.Arch.Layers {
+		e.finishPrefill(j)
+		return
+	}
+	e.pumpPrefill()
+}
+
+// finishPrefill completes a prefill batch: merge immediately when the
+// decode stream is idle, otherwise wait for the iteration boundary. The
+// job may still sit in the queue when it completes while preempted (its
+// in-flight layers drained after it was paused) — it must leave the
+// queue too, or a finished zombie would later occupy the active slot.
+func (e *Engine) finishPrefill(j *prefillJob) {
+	if e.active == j {
+		e.active = nil
+	}
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	if e.decodeRunning {
+		e.merging = append(e.merging, j)
+		e.pumpPrefill() // next job can use the prefill partition meanwhile
+		return
+	}
+	e.mergeJob(j)
+	e.schedule()
+}

@@ -1,0 +1,104 @@
+// Package estimator implements MuxWise's contention-tolerant estimator
+// (§3.3): a solo-run latency predictor fitted offline per partition
+// configuration (Eq. 1 for prefill, Eq. 2 for decode) and a contention
+// guard built from grid-sampled co-run profiling that supplies the
+// worst-case slowdown factor used for SLO guarantees.
+package estimator
+
+import "math"
+
+// FitRelative fits θ minimising the *relative* residual Σ((xᵢθ−yᵢ)/yᵢ)²,
+// which keeps the maximum percentage deviation small across latency
+// scales spanning three orders of magnitude — the property the paper's
+// predictor accuracy claims (≤8–9% max deviation) depend on.
+func FitRelative(x [][]float64, y []float64) []float64 {
+	wx := make([][]float64, 0, len(x))
+	wy := make([]float64, 0, len(y))
+	for i := range x {
+		if y[i] <= 0 {
+			continue
+		}
+		row := make([]float64, len(x[i]))
+		for j := range x[i] {
+			row[j] = x[i][j] / y[i]
+		}
+		wx = append(wx, row)
+		wy = append(wy, 1)
+	}
+	return FitOLS(wx, wy)
+}
+
+// FitOLS solves min‖Xθ − y‖² by normal equations with Gaussian
+// elimination. It returns the coefficient vector, or nil when the system
+// is singular (degenerate sample sets).
+func FitOLS(x [][]float64, y []float64) []float64 {
+	if len(x) == 0 || len(x[0]) == 0 || len(x) != len(y) {
+		return nil
+	}
+	k := len(x[0])
+	// Normal equations: (XᵀX)θ = Xᵀy.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	for r := range x {
+		for i := 0; i < k; i++ {
+			b[i] += x[r][i] * y[r]
+			for j := 0; j < k; j++ {
+				a[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	// Tiny ridge term for numerical robustness on collinear grids.
+	for i := 0; i < k; i++ {
+		a[i][i] *= 1 + 1e-9
+		a[i][i] += 1e-12
+	}
+	return solve(a, b)
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) []float64 {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-30 {
+			return nil
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * out[c]
+		}
+		out[r] = s / a[r][r]
+	}
+	return out
+}
+
+// dot multiplies a feature row by coefficients.
+func dot(features, theta []float64) float64 {
+	var s float64
+	for i := range features {
+		s += features[i] * theta[i]
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"muxwise/internal/chunked"
+	"muxwise/internal/core"
+	"muxwise/internal/estimator"
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/temporal"
+	"muxwise/internal/windserve"
+	"muxwise/internal/workload"
+)
+
+// Fig19 reproduces Figure 19: P99 TBT of MuxWise against its ablated
+// variants (w/o layer-wise bubble-less scheduling; further w/o
+// query-based synchronization) on Tool&Agent.
+func Fig19(o Opts) []Table {
+	var out []Table
+	cases := []struct {
+		cfg  serve.Config
+		rate float64
+		seed uint64
+	}{
+		{config8B(), 4.0, 501},
+		{config70B(), 0.5, 502},
+	}
+	if o.Quick {
+		cases = cases[1:]
+	}
+	sessions := o.size(500, 60)
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"MuxWise", core.DefaultOptions()},
+		{"MuxWise w/o B", core.Options{LayerWise: false, QuerySync: true}},
+		{"MuxWise w/o B&Q", core.Options{LayerWise: false, QuerySync: false}},
+	}
+	for _, c := range cases {
+		t := Table{
+			ID:      "fig19",
+			Title:   fmt.Sprintf("bubble-less engine ablation, %s on Tool&Agent @%.2g req/s", c.cfg.Arch.Name, c.rate),
+			Columns: []string{"variant", "p99 TBT(ms)", "attain%"},
+		}
+		for _, v := range variants {
+			v := v
+			f := func(env *serve.Env) serve.Engine { return core.NewWithOptions(env, v.opts) }
+			tr := workload.ToolAgent(c.seed, sessions).WithPoissonArrivals(c.seed, c.rate)
+			res := serve.Run(f, c.cfg, tr)
+			t.Add(v.name, ms(res.Summary.TBT.P99),
+				fmt.Sprintf("%.1f", res.Rec.TBTAttainment(c.cfg.SLO.TBT)*100))
+		}
+		t.Notes = append(t.Notes,
+			"paper: w/o layer-wise adds ~10ms (prefill launch time); w/o query-sync degrades by 314ms (8B) / 672ms (70B)")
+		out = append(out, t)
+	}
+
+	// Extension ablation (motivated by §3.3): sizing the decode
+	// partition from solo predictions alone, without the contention
+	// guard's worst-case factor.
+	g := Table{
+		ID:      "fig19-guard",
+		Title:   "contention-guard ablation (worst-case vs solo-only estimation)",
+		Columns: []string{"variant", "TBT slack headroom", "attain%"},
+	}
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"with guard", core.DefaultOptions()},
+		{"w/o guard", core.Options{LayerWise: true, QuerySync: true, Preemption: true, NoGuard: true}},
+	} {
+		v := v
+		f := func(env *serve.Env) serve.Engine { return core.NewWithOptions(env, v.opts) }
+		tr := workload.ToolAgent(503, sessions).WithPoissonArrivals(503, 0.5)
+		cfg := config70B()
+		// A tight SLO exposes the unguarded variant: contention inflates
+		// iterations past a target the solo model judged safe.
+		cfg.SLO.TBT = 45 * sim.Millisecond
+		res := serve.Run(f, cfg, tr)
+		head := (cfg.SLO.TBT.Seconds() - res.Summary.TBT.P99) * 1e3
+		g.Add(v.name, fmt.Sprintf("%.1fms", head),
+			fmt.Sprintf("%.2f", res.Rec.TBTAttainment(cfg.SLO.TBT)*100))
+	}
+	g.Notes = append(g.Notes, "guarded sizing keeps worst-case iterations inside the target; solo-only sizing leaves violations to contention")
+	out = append(out, g)
+	return out
+}
+
+// Sec431 reproduces §4.3.1: Llama-8B on a single A100 serving ShareGPT —
+// MuxWise improves goodput ~1.2× over chunked-prefill even without
+// chunking pressure, because a strict TBT SLO forces a small budget.
+func Sec431(o Opts) []Table {
+	cfg := serve.Config{
+		Spec: gpu.A100(), GPUs: 1, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
+	}
+	mk := func(rate float64) *workload.Trace {
+		// Fixed-duration probes: the trace must outlast the stability
+		// grace at every rate, or overload never accumulates.
+		n := o.size(max(600, int(rate*120)), 150)
+		return workload.ShareGPT(431, n).WithPoissonArrivals(431+uint64(rate*100), rate)
+	}
+	lo, hi := 0.5, 60.0
+	if o.Quick {
+		hi = 2.0
+	}
+	t := Table{
+		ID:      "sec431",
+		Title:   "single A100, Llama-8B, ShareGPT goodput",
+		Columns: []string{"system", "goodput(req/s)"},
+	}
+	gm := serve.Goodput(core.New, cfg, mk, lo, hi)
+	gc := serve.Goodput(chunked.New, cfg, mk, lo, hi)
+	t.Add("MuxWise", fmt.Sprintf("%.2f", gm))
+	t.Add("Chunked", fmt.Sprintf("%.2f", gc))
+	if gc > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("ratio %.2f× (paper: 1.2×)", gm/gc))
+	}
+	return []Table{t}
+}
+
+// Sec45 reproduces §4.5: the memory and runtime overheads of realizing
+// PD-multiplexing.
+func Sec45(o Opts) []Table {
+	mem := Table{
+		ID:      "sec45-memory",
+		Title:   "memory overhead of green contexts + per-config CUDA graphs",
+		Columns: []string{"item", "bytes", "% of 8×A100 HBM"},
+	}
+	total := float64(8) * float64(80<<30)
+	greenCtx := 4.0 * float64(1<<20) // 4 MB per green-context group
+	// The serving system records decode graphs for ~20 batch sizes; each
+	// decode-phase compute partition (6 configs on A100) re-records them.
+	configs := float64(len(gpu.A100().PartitionSizes()))
+	batchSizes := 20.0
+	perGraph := 330.0 * float64(1<<20) // graph memory per recorded batch size
+	graphs := configs * batchSizes * perGraph
+	mem.Add("green contexts", fmt.Sprintf("%.0f", greenCtx), fmt.Sprintf("%.4f", greenCtx/total*100))
+	mem.Add("CUDA graphs (6 cfg × 20 bs)", fmt.Sprintf("%.3g", graphs), fmt.Sprintf("%.1f", graphs/total*100))
+	mem.Notes = append(mem.Notes, "paper: green contexts ~4MB (negligible); graph integration costs 6.2%")
+
+	run := Table{
+		ID:      "sec45-runtime",
+		Title:   "layer-wise launch overhead vs whole-phase prefill",
+		Columns: []string{"model", "batch", "whole(ms)", "layer-wise(ms)", "overhead%"},
+	}
+	archs := []model.Arch{model.Llama8B(), model.Llama70B()}
+	if o.Quick {
+		archs = archs[1:]
+	}
+	for _, a := range archs {
+		for _, seq := range []model.Seq{{New: 2048}, {New: 8192, Reused: 8192}} {
+			layered := estimator.MeasurePrefillSolo(gpu.A100(), 8, a, 108, []model.Seq{seq})
+			ideal := measurePhaseNoLaunch(gpu.A100(), 8, a, []model.Seq{seq})
+			over := (layered - ideal) / ideal * 100
+			run.Add(a.Name, fmt.Sprintf("n=%d r=%d", seq.New, seq.Reused),
+				ms(ideal), ms(layered), fmt.Sprintf("%.2f", over))
+		}
+	}
+	run.Notes = append(run.Notes, "paper: total layer-wise launch overhead within 1.5%")
+	return []Table{mem, run}
+}
+
+// measurePhaseNoLaunch measures a whole prefill phase as one kernel with
+// zero launch cost — the launch-overhead-free reference the layer-wise
+// overhead is judged against.
+func measurePhaseNoLaunch(spec gpu.Spec, tp int, arch model.Arch, seqs []model.Seq) float64 {
+	s := newSim()
+	d := gpu.NewDevice(s, spec, tp, "ref")
+	p := d.Partition(spec.SMs, "phase")
+	phase := arch.PrefillPhase(seqs, tp)
+	var done float64
+	p.Launch(gpu.Kernel{
+		Kind: gpu.Prefill, FLOPs: phase.FLOPs, Bytes: phase.Bytes,
+		CommBytes: phase.CommBytes, Tokens: phase.Tokens,
+	}, func() { done = s.Now().Seconds() })
+	s.Run()
+	return done
+}
+
+// Sec6 reproduces the §6 related-work comparisons: MuxWise vs the
+// WindServe-style stream multiplexer (paper: 1.61× goodput on ShareGPT,
+// A100, Llama-8B, 50 ms TBT) and vs the temporal-only layer-sliced
+// variant (paper: at least 20% worse than MuxWise).
+func Sec6(o Opts) []Table {
+	cfg := serve.Config{
+		Spec: gpu.A100(), GPUs: 1, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
+	}
+	mk := func(rate float64) *workload.Trace {
+		n := o.size(max(600, int(rate*120)), 150)
+		return workload.ShareGPT(61, n).WithPoissonArrivals(61+uint64(rate*100), rate)
+	}
+	lo, hi := 0.5, 60.0
+	if o.Quick {
+		hi = 2.0
+	}
+	t := Table{
+		ID:      "sec6",
+		Title:   "related multiplexers, ShareGPT goodput (A100×1, Llama-8B)",
+		Columns: []string{"system", "goodput(req/s)", "MuxWise ratio"},
+	}
+	gm := serve.Goodput(core.New, cfg, mk, lo, hi)
+	gw := serve.Goodput(windserve.New, cfg, mk, lo, hi)
+	gt := serve.Goodput(temporal.New, cfg, mk, lo, hi)
+	add := func(name string, g float64) {
+		ratio := "n/a"
+		if g > 0 {
+			ratio = fmt.Sprintf("%.2f×", gm/g)
+		}
+		t.Add(name, fmt.Sprintf("%.2f", g), ratio)
+	}
+	add("MuxWise", gm)
+	add("WindServe", gw)
+	add("Temporal", gt)
+	t.Notes = append(t.Notes, "paper: 1.61× over WindServe; temporal-only ≥20% worse")
+	_ = metrics.SLO{}
+	return []Table{t}
+}

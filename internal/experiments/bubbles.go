@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"muxwise/internal/chunked"
+	"muxwise/internal/core"
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Sec442 reproduces the §4.4.2 bubble-ratio measurement: the fraction of
+// the compute stream's active window not occupied by any kernel, averaged
+// over MuxWise's two concurrent streams, against chunked-prefill's single
+// stream, at goodput-level load on Tool&Agent (Llama-8B).
+func Sec442(o Opts) []Table {
+	t := Table{
+		ID:      "sec442",
+		Title:   "compute-stream bubble ratio at goodput load (Llama-8B, Tool&Agent)",
+		Columns: []string{"system", "bubble ratio%", "streams"},
+	}
+	sessions := o.size(400, 60)
+	rate := 10.0
+	if o.Quick {
+		rate = 2.0
+	}
+	tr := func(seed uint64) *workload.Trace {
+		return workload.ToolAgent(seed, sessions).WithPoissonArrivals(seed, rate)
+	}
+
+	// MuxWise: average the decode and prefill green contexts.
+	{
+		cfg := config8B()
+		s := sim.New()
+		rec := metrics.NewRecorder()
+		env := &serve.Env{
+			Sim: s, Spec: cfg.Spec, GPUs: cfg.GPUs, Arch: cfg.Arch,
+			SLO: cfg.SLO, Rec: rec, ReserveFrac: 0.1, MaxBatch: 256,
+		}
+		e := core.NewWithOptions(env, core.DefaultOptions())
+		driveTrace(env, e.Submit, tr(442))
+		win := e.Devices()[0].Stats().ActiveSeconds
+		ratio := (bubbleRatio(e.DecodePartition(), win) + bubbleRatio(e.PrefillPartition(), win)) / 2
+		t.Add("MuxWise", fmt.Sprintf("%.1f", ratio*100), "2 (decode+prefill)")
+	}
+
+	// Chunked: one fused stream.
+	{
+		cfg := config8B()
+		s := sim.New()
+		rec := metrics.NewRecorder()
+		env := &serve.Env{
+			Sim: s, Spec: cfg.Spec, GPUs: cfg.GPUs, Arch: cfg.Arch,
+			SLO: cfg.SLO, Rec: rec, ReserveFrac: 0.1, MaxBatch: 256,
+		}
+		e := chunked.NewWithBudget(env, chunked.BudgetFor(env))
+		driveTrace(env, e.Submit, tr(442))
+		win := e.Devices()[0].Stats().ActiveSeconds
+		t.Add("Chunked", fmt.Sprintf("%.1f", bubbleRatio(e.Partition(), win)*100), "1 (fused)")
+	}
+	t.Notes = append(t.Notes,
+		"paper: MuxWise 7.7% vs chunked 4.5%; the extra bubbles appear when all prefill layers",
+		"complete during pure-decode stretches and do not hurt goodput (§4.4.2)")
+	return []Table{t}
+}
+
+// bubbleRatio is 1 − busy/window for one stream over the device's active
+// window, clamped to [0, 1].
+func bubbleRatio(p *gpu.Partition, window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	r := 1 - p.Busy()/window
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// driveTrace replays a trace directly against an engine's Submit.
+func driveTrace(env *serve.Env, submit func(*workload.Request), tr *workload.Trace) {
+	for _, r := range tr.Requests {
+		r := r
+		env.Rec.Arrive(r.ID, r.Arrival, r.InputTokens)
+		env.Sim.At(r.Arrival, func() { submit(r) })
+	}
+	env.Sim.Run()
+}

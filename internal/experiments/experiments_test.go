@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"muxwise/internal/serve"
+)
+
+// Every registered experiment must run at quick scale and produce rows.
+func TestRegistryRunsQuick(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Opts{Quick: true})
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" || len(tbl.Columns) == 0 {
+					t.Errorf("%s: incomplete table metadata %+v", e.ID, tbl)
+				}
+				if tbl.ID != "fig18-burst" && len(tbl.Rows) == 0 {
+					t.Errorf("%s table %s has no rows", e.ID, tbl.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Errorf("%s table %s: row width %d != %d columns", e.ID, tbl.ID, len(row), len(tbl.Columns))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig14"); !ok {
+		t.Fatal("fig14 missing from registry")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("fig99 unexpectedly found")
+	}
+}
+
+func TestBaselinesComplete(t *testing.T) {
+	b := Baselines()
+	for _, name := range append([]string{"WindServe", "Temporal"}, fig14Systems...) {
+		if _, ok := b[name]; !ok {
+			t.Errorf("baseline %q missing", name)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tbl.Add("1", "2")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// parse extracts a float from a table cell, tolerating suffixes.
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimRight(cell, "×*% ")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cannot parse cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// The headline ordering of Fig. 14 (70B, Conversation): MuxWise has the
+// best P99 TTFT of the five systems, and the chunking-based systems
+// violate the TBT SLO while MuxWise and the disaggregated systems hold it.
+func TestFig14Ordering(t *testing.T) {
+	tbl := fig14Cell(Opts{Quick: true}, config70B(), "Conversation", scale70B, 103)
+	vals := map[string][]string{}
+	for _, row := range tbl.Rows {
+		vals[row[0]] = row
+	}
+	mux := parse(t, vals["MuxWise"][1])
+	for _, sys := range []string{"Chunked", "NanoFlow", "LoongServe", "SGLang-PD"} {
+		if v := parse(t, vals[sys][1]); v <= mux {
+			t.Errorf("p99 TTFT: %s %.2fs not worse than MuxWise %.2fs", sys, v, mux)
+		}
+	}
+	if att := parse(t, vals["MuxWise"][3]); att < 99 {
+		t.Errorf("MuxWise TBT attainment %.1f%% below target", att)
+	}
+	if att := parse(t, vals["Chunked"][3]); att >= 99 {
+		t.Errorf("Chunked attainment %.1f%% — expected SLO failure on long-reuse trace", att)
+	}
+	if att := parse(t, vals["SGLang-PD"][3]); att < 99 {
+		t.Errorf("SGLang-PD attainment %.1f%% — static decode reservation should hold TBT", att)
+	}
+}
+
+// MuxWise's goodput must strictly beat chunked-prefill on the Tool&Agent
+// sweep (the abstract's 2.20× average claim, in miniature).
+func TestGoodputBeatsChunked(t *testing.T) {
+	mk := poissonToolAgent(202, 80)
+	rates := []float64{0.1, 0.2, 0.3, 0.4}
+	best := func(f serve.Factory) float64 {
+		b := 0.0
+		for _, p := range serve.Sweep(f, config70B(), mk, rates) {
+			if !p.Unstable && p.Attainment >= 0.99 {
+				b = p.Rate
+			}
+		}
+		return b
+	}
+	factories := Baselines()
+	gm := best(factories["MuxWise"])
+	gc := best(factories["Chunked"])
+	if gm <= gc {
+		t.Fatalf("MuxWise goodput %.2f not above chunked %.2f", gm, gc)
+	}
+}
+
+// The cache-pool experiment must show the monotone capacity → hit-rate
+// relationship that motivates aggregated serving.
+func TestFig5Monotone(t *testing.T) {
+	tables := Fig5(Opts{Quick: true})
+	prev := -1.0
+	for _, row := range tables[0].Rows {
+		v := parse(t, row[1])
+		if v < prev-0.02 {
+			t.Fatalf("hit rate not monotone in capacity: %v", tables[0].Rows)
+		}
+		prev = v
+	}
+}
+
+// Fig. 6a's dilemma in numbers: the saturating budget (4K) must cost
+// several times the TBT SLO, while 256 stays within it.
+func TestFig6Dilemma(t *testing.T) {
+	arch, spec := config70B().Arch, config70B().Spec
+	lat256 := fusedIterLatency(arch, spec, 256, 32, 1024, 0, 1024)
+	lat4k := fusedIterLatency(arch, spec, 4096, 32, 1024, 0, 1024)
+	if lat256 > 0.1 {
+		t.Errorf("budget 256 latency %.3fs exceeds the 100ms SLO", lat256)
+	}
+	if lat4k < 0.4 || lat4k > 0.7 {
+		t.Errorf("budget 4K latency %.3fs, want ≈0.5s (paper: 505ms)", lat4k)
+	}
+}

@@ -1,0 +1,203 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2 motivation and §4). Each experiment returns Tables whose
+// rows mirror the series the paper plots, so the output can be compared
+// against the publication shape for shape (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"muxwise/internal/chunked"
+	"muxwise/internal/core"
+	"muxwise/internal/gpu"
+	"muxwise/internal/loong"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/nanoflow"
+	"muxwise/internal/pdsep"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/temporal"
+	"muxwise/internal/windserve"
+)
+
+// Opts controls experiment scale.
+type Opts struct {
+	// Quick shrinks traces and sweeps for benchmark/CI runs; full runs
+	// reproduce the paper-scale series.
+	Quick bool
+}
+
+// size picks between full and quick scale.
+func (o Opts) size(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one reproduced artifact (a figure series or table).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a formatted row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			parts[i] = v
+		case float64:
+			parts[i] = fmt.Sprintf("%.3g", v)
+		case int:
+			parts[i] = fmt.Sprintf("%d", v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	_ = format
+	t.Rows = append(t.Rows, parts)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	head := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		head[i] = pad(c, widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(head, "  "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			cells[i] = pad(c, wd)
+		}
+		fmt.Fprintln(w, strings.Join(cells, "  "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure it regenerates
+	Run   func(Opts) []Table
+}
+
+// Registry returns all experiments keyed by ID.
+func Registry() []Experiment {
+	return []Experiment{
+		{"tab1", "Table 1 (workload statistics)", Table1},
+		{"tab2", "Table 2 / Eq. 1-2 (predictor accuracy)", Table2},
+		{"fig3", "Figure 3 (phase demands vs reused length)", Fig3},
+		{"fig5", "Figure 5 (cache hit rate vs pool capacity)", Fig5},
+		{"fig6", "Figure 6 (chunked-prefill dilemma)", Fig6},
+		{"fig11", "Figure 11 (contention slowdown)", Fig11},
+		{"fig13", "Figure 13 (bursty trace shapes)", Fig13},
+		{"fig14", "Figure 14 (P99 TTFT/TBT, real-world traces)", Fig14},
+		{"tab34", "Tables 3-4 (other latency metrics)", Tables34},
+		{"fig15", "Figure 15 (SLO attainment vs rate, goodput)", Fig15},
+		{"tab5", "Table 5 (throughput and GPU utilization)", Table5},
+		{"fig16", "Figure 16 (H100/H200, Qwen-235B)", Fig16},
+		{"fig17", "Figure 17 (synthetic workload sweeps)", Fig17},
+		{"fig18", "Figure 18 (compute partition timeline)", Fig18},
+		{"fig19", "Figure 19 (bubble-less engine ablation)", Fig19},
+		{"sec442", "§4.4.2 (compute-stream bubble ratio)", Sec442},
+		{"fig20", "Figure 20 (preemptive scheduling CDF)", Fig20},
+		{"sec431", "§4.3.1 (single GPU, short requests)", Sec431},
+		{"sec45", "§4.5 (PD-multiplexing overheads)", Sec45},
+		{"sec6", "§6 (WindServe / temporal-only comparisons)", Sec6},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Baselines returns the engine factories compared in §4.2.
+func Baselines() map[string]serve.Factory {
+	return map[string]serve.Factory{
+		"MuxWise":    core.New,
+		"Chunked":    chunked.New,
+		"NanoFlow":   nanoflow.New,
+		"LoongServe": loong.New,
+		"SGLang-PD":  pdsep.New,
+		"WindServe":  windserve.New,
+		"Temporal":   temporal.New,
+	}
+}
+
+// fig14Systems is the five-system comparison order used in §4.2.
+var fig14Systems = []string{"MuxWise", "Chunked", "NanoFlow", "LoongServe", "SGLang-PD"}
+
+// sortedNames returns map keys in deterministic order.
+func sortedNames(m map[string]serve.Factory) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// deployment bundles the standard test configurations.
+func config8B() serve.Config {
+	return serve.Config{
+		Spec: gpu.A100(), GPUs: 8, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
+	}
+}
+
+func config70B() serve.Config {
+	return serve.Config{
+		Spec: gpu.A100(), GPUs: 8, Arch: model.Llama70B(),
+		SLO: metrics.SLO{TTFT: sim.Second, TBT: 100 * sim.Millisecond},
+	}
+}
+
+func ms(v float64) string  { return fmt.Sprintf("%.1f", v*1e3) }
+func sec(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func newSim() *sim.Sim { return sim.New() }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"muxwise/internal/workload"
+)
+
+// Table1 regenerates Table 1: min/mean/max statistics of the five
+// evaluated workloads from the trace generators.
+func Table1(o Opts) []Table {
+	t := Table{
+		ID:      "tab1",
+		Title:   "workload statistics (min/mean/max)",
+		Columns: []string{"workload", "input", "output", "reused"},
+	}
+	n := o.size(8000, 500)
+	traces := []*workload.Trace{
+		workload.ShareGPT(1, n),
+		workload.LooGLE(1, n/4),
+		workload.OpenThoughts(1, n/2),
+		workload.Conversation(1, n/2),
+		workload.ToolAgent(1, n/2),
+	}
+	for _, tr := range traces {
+		s := tr.Stats()
+		t.Add(tr.Name,
+			fmt.Sprintf("%d/%d/%d", s.InMin, s.InMean, s.InMax),
+			fmt.Sprintf("%d/%d/%d", s.OutMin, s.OutMean, s.OutMax),
+			fmt.Sprintf("%d/%d/%d", s.ReuseMin, s.ReuseMean, s.ReuseMax))
+	}
+	t.Notes = append(t.Notes,
+		"paper: ShareGPT 4/226/1024 & 4/195/1838; LooGLE 3380/30k/81k & 2/15/326;",
+		"OpenThoughts 311/709/4633 & 684/8374/32k reuse 243; Conversation 891/7538/123k & 1/342/2000 reuse 0/4496/120k;",
+		"Tool&Agent 891/8596/123k & 1/182/2000 reuse 0/4905/120k")
+	return []Table{t}
+}
+
+// Fig13 regenerates Figure 13: per-minute request rates of the scaled
+// real-world traces.
+func Fig13(o Opts) []Table {
+	t := Table{
+		ID:      "fig13",
+		Title:   "scaled real-world trace request rates (req/min)",
+		Columns: []string{"minute", "Conv-8B", "Tool-8B", "Conv-70B", "Tool-70B"},
+	}
+	profiles := []workload.RateProfile{
+		workload.ConversationProfile(scale8B),
+		workload.ToolAgentProfile(scale8B),
+		workload.ConversationProfile(scale70B),
+		workload.ToolAgentProfile(scale70B),
+	}
+	series := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		series[i] = p.RatePerMinute()
+	}
+	for m := range series[0] {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.0f", s[m]))
+		}
+		t.Add(row...)
+	}
+	// Burstiness check: max/min ratio within the trace.
+	for i, p := range profiles {
+		lo, hi := series[i][0], series[i][0]
+		for _, v := range series[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: peak/base %.1f× (paper: spikes up to 13× within 1 min)", p.Name, hi/lo))
+	}
+	return []Table{t}
+}
+
+// Trace scale factors: Llama-8B serves the traces at a higher request
+// rate than Llama-70B, as in Fig. 13's per-model scaling.
+const (
+	scale8B  = 3.0
+	scale70B = 0.3
+)

@@ -1,0 +1,487 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"muxwise/internal/sim"
+)
+
+// Kind classifies a kernel for efficiency modelling.
+type Kind int
+
+const (
+	// Prefill kernels are large matmuls whose efficiency saturates with
+	// the number of new tokens per allocated SM.
+	Prefill Kind = iota
+	// Decode kernels are batched GEMV/attention: memory-throughput bound
+	// with a flat, lower compute efficiency.
+	Decode
+	// Aux kernels (sampling, KV migration staging) use decode treatment.
+	Aux
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Prefill:
+		return "prefill"
+	case Decode:
+		return "decode"
+	default:
+		return "aux"
+	}
+}
+
+// Kernel is one unit of GPU work: a fused phase, one prefill layer, or a
+// whole decode iteration, characterised by its resource footprint.
+type Kernel struct {
+	Label string
+	Kind  Kind
+
+	// FLOPs is total floating-point work across the TP group.
+	FLOPs float64
+	// Bytes is total HBM traffic across the TP group.
+	Bytes float64
+	// CommBytes is total interconnect traffic for TP collectives,
+	// already adjusted for the ring-allreduce factor.
+	CommBytes float64
+	// Tokens is the number of new tokens the kernel processes, used by
+	// the prefill efficiency curve.
+	Tokens int
+	// Launch is host-side launch latency; launches serialize on the
+	// device's single launcher thread.
+	Launch sim.Time
+	// MFU overrides the spec's default for this kind when nonzero.
+	MFU float64
+}
+
+// Device is a logical tensor-parallel group of TP identical GPUs.
+type Device struct {
+	Spec Spec
+	TP   int
+	Name string
+
+	sim        *sim.Sim
+	hostFreeAt sim.Time
+	partitions []*Partition
+	running    []*run
+	next       *sim.Event
+	lastAt     sim.Time
+
+	// Accounting integrals (seconds-weighted).
+	smInt      float64 // ∫ Σ smFraction dt
+	computeInt float64 // ∫ achievedFLOPs/peakFLOPs dt
+	bwInt      float64 // ∫ usedBW/peakBW dt
+	firstWork  sim.Time
+	lastWork   sim.Time
+	kernels    int64
+	launchInt  float64 // total host launch seconds
+}
+
+// NewDevice creates a logical device over a TP-wide group of spec GPUs.
+func NewDevice(s *sim.Sim, spec Spec, tp int, name string) *Device {
+	if tp < 1 {
+		panic("gpu: tensor parallel degree must be ≥ 1")
+	}
+	return &Device{Spec: spec, TP: tp, Name: name, sim: s, firstWork: -1}
+}
+
+// TotalFLOPS is peak aggregate compute of the group.
+func (d *Device) TotalFLOPS() float64 { return d.Spec.TensorFLOPS * float64(d.TP) }
+
+// TotalBandwidth is aggregate HBM bandwidth of the group.
+func (d *Device) TotalBandwidth() float64 { return d.Spec.HBMBandwidth * float64(d.TP) }
+
+// TotalMemory is aggregate HBM capacity of the group in bytes.
+func (d *Device) TotalMemory() int64 { return d.Spec.HBMCapacity * int64(d.TP) }
+
+// Partition binds a new stream to sms SMs per GPU. Partitions may coexist;
+// the caller decides whether their SM counts are disjoint (green contexts)
+// or oversubscribed (plain CUDA streams, as in WindServe).
+func (d *Device) Partition(sms int, label string) *Partition {
+	if sms < 0 || sms > d.Spec.SMs {
+		panic(fmt.Sprintf("gpu: partition of %d SMs outside [0,%d]", sms, d.Spec.SMs))
+	}
+	p := &Partition{dev: d, sms: sms, label: label}
+	d.partitions = append(d.partitions, p)
+	return p
+}
+
+// Partition is a stream bound to an SM subset — the Green Context analog.
+// Kernels launched on a partition execute in FIFO order.
+type Partition struct {
+	dev   *Device
+	sms   int
+	label string
+
+	queue   []*run
+	current *run
+
+	busy      float64 // seconds the stream had a kernel executing
+	reconfigs int
+}
+
+// SMs returns the partition's current size in SMs per GPU.
+func (p *Partition) SMs() int { return p.sms }
+
+// Label returns the partition's diagnostic name.
+func (p *Partition) Label() string { return p.label }
+
+// Busy returns total seconds this partition spent executing kernels.
+func (p *Partition) Busy() float64 { return p.busy }
+
+// Reconfigs returns how many times the partition was resized.
+func (p *Partition) Reconfigs() int { return p.reconfigs }
+
+// QueueLen returns the number of kernels launched but not yet completed.
+func (p *Partition) QueueLen() int {
+	n := len(p.queue)
+	if p.current != nil {
+		n++
+	}
+	return n
+}
+
+// Idle reports whether nothing is queued or executing.
+func (p *Partition) Idle() bool { return p.current == nil && len(p.queue) == 0 }
+
+// SetSMs resizes the partition (a green-context reconfiguration). The new
+// size applies to kernels that begin executing afterwards; the resize
+// costs one stream synchronization on the host thread.
+func (p *Partition) SetSMs(sms int) {
+	if sms == p.sms {
+		return
+	}
+	if sms < 0 || sms > p.dev.Spec.SMs {
+		panic(fmt.Sprintf("gpu: partition resize to %d SMs outside [0,%d]", sms, p.dev.Spec.SMs))
+	}
+	p.sms = sms
+	p.reconfigs++
+	d := p.dev
+	if d.hostFreeAt < d.sim.Now() {
+		d.hostFreeAt = d.sim.Now()
+	}
+	d.hostFreeAt += d.Spec.ReconfigSync
+}
+
+// run is one kernel in flight: queued, then executing under the fluid
+// progress model.
+type run struct {
+	part *Partition
+	k    Kernel
+	done func()
+
+	ready   bool // host launch finished
+	readyAt sim.Time
+
+	frac     float64 // SM fraction captured at execution start
+	startSeq int64   // execution start order (SM occupancy priority)
+	remC     float64 // remaining FLOPs
+	remB     float64 // remaining HBM bytes
+	remComm  float64 // remaining interconnect bytes
+
+	crate, brate, commRate float64 // current rates (per second)
+}
+
+// Launch submits a kernel to the partition. done, if non-nil, runs at the
+// simulated completion time. The host launch overhead serializes with all
+// other launches on the device.
+func (p *Partition) Launch(k Kernel, done func()) {
+	d := p.dev
+	now := d.sim.Now()
+	if d.hostFreeAt < now {
+		d.hostFreeAt = now
+	}
+	start := d.hostFreeAt
+	d.hostFreeAt = start + k.Launch
+	d.launchInt += sim.Time(k.Launch).Seconds()
+
+	r := &run{part: p, k: k, done: done, readyAt: d.hostFreeAt}
+	p.queue = append(p.queue, r)
+	d.sim.At(r.readyAt, func() {
+		r.ready = true
+		p.tryStart()
+	})
+}
+
+// tryStart begins executing the queue head if the stream is idle and the
+// head's host launch has completed.
+func (p *Partition) tryStart() {
+	if p.current != nil || len(p.queue) == 0 || !p.queue[0].ready {
+		return
+	}
+	r := p.queue[0]
+	p.queue = p.queue[1:]
+	p.current = r
+	p.dev.startRun(r)
+}
+
+func (d *Device) startRun(r *run) {
+	d.progress()
+	r.frac = float64(r.part.sms) / float64(d.Spec.SMs)
+	r.startSeq = d.kernels
+	r.remC = r.k.FLOPs
+	r.remB = r.k.Bytes
+	r.remComm = r.k.CommBytes
+	d.running = append(d.running, r)
+	d.kernels++
+	if d.firstWork < 0 {
+		d.firstWork = d.sim.Now()
+	}
+	d.reallocate()
+}
+
+// progress advances all running kernels' remaining work to the current
+// time at their last-computed rates and accumulates accounting integrals.
+func (d *Device) progress() {
+	now := d.sim.Now()
+	dt := (now - d.lastAt).Seconds()
+	d.lastAt = now
+	if dt <= 0 || len(d.running) == 0 {
+		return
+	}
+	var smSum, flopsUsed, bwUsed float64
+	for _, r := range d.running {
+		r.remC = math.Max(0, r.remC-r.crate*dt)
+		r.remB = math.Max(0, r.remB-r.brate*dt)
+		r.remComm = math.Max(0, r.remComm-r.commRate*dt)
+		r.part.busy += dt
+		smSum += r.frac
+		flopsUsed += r.crate
+		bwUsed += r.brate
+	}
+	d.smInt += math.Min(1, smSum) * dt
+	d.computeInt += flopsUsed / d.TotalFLOPS() * dt
+	d.bwInt += bwUsed / d.TotalBandwidth() * dt
+	d.lastWork = now
+}
+
+// efficiency returns the fraction of peak FLOPS a kernel achieves given
+// its kind, token count, and SM allocation.
+func (d *Device) efficiency(k Kernel, frac float64) float64 {
+	mfu := k.MFU
+	if mfu == 0 {
+		if k.Kind == Prefill {
+			mfu = d.Spec.MFUPrefill
+		} else {
+			mfu = d.Spec.MFUDecode
+		}
+	}
+	if k.Kind != Prefill {
+		return mfu
+	}
+	sms := frac * float64(d.Spec.SMs) * float64(d.TP)
+	tok := float64(k.Tokens)
+	if tok <= 0 {
+		tok = 1
+	}
+	return mfu * tok / (tok + d.Spec.SatTokensPerSM*sms)
+}
+
+// reallocate recomputes every running kernel's rates (water-filling the
+// bandwidth) and schedules the next sub-stream completion event.
+func (d *Device) reallocate() {
+	if d.next != nil {
+		d.sim.Cancel(d.next)
+		d.next = nil
+	}
+	if len(d.running) == 0 {
+		return
+	}
+
+	// SM occupancy: green-context partitions are disjoint, so each
+	// kernel keeps its fraction. When streams oversubscribe the SMs
+	// (plain CUDA streams, or a reconfiguration racing an in-flight
+	// kernel), occupancy is non-preemptive: kernels resident earlier
+	// keep their SMs and later arrivals squeeze into what remains, with
+	// a small floor for the blocks that do sneak in.
+	const occupancyFloor = 0.02
+	occ := make([]float64, len(d.running))
+	order := make([]int, len(d.running))
+	for i := range d.running {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return d.running[order[a]].startSeq < d.running[order[b]].startSeq
+	})
+	remaining := 1.0
+	for _, i := range order {
+		r := d.running[i]
+		g := math.Min(r.frac, remaining)
+		if g < occupancyFloor {
+			g = math.Min(occupancyFloor, r.frac)
+		}
+		occ[i] = g
+		remaining -= g
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+
+	// Bandwidth demands, capped by each kernel's SM-limited absorption.
+	bw := d.TotalBandwidth()
+	caps := make([]float64, len(d.running))
+	for i, r := range d.running {
+		if r.remB <= 0 {
+			continue
+		}
+		c := occ[i] / d.Spec.BWSaturationFrac * bw
+		caps[i] = math.Min(bw, c)
+	}
+	alloc := waterfill(caps, bw)
+
+	soonest := sim.MaxTime
+	now := d.sim.Now()
+	for i, r := range d.running {
+		eff := d.efficiency(r.k, r.frac)
+		r.crate = occ[i] * d.TotalFLOPS() * eff
+		r.brate = alloc[i]
+		r.commRate = d.Spec.NVLinkBandwidth
+		for _, s := range []struct{ rem, rate float64 }{
+			{r.remC, r.crate}, {r.remB, r.brate}, {r.remComm, r.commRate},
+		} {
+			if s.rem <= 0 {
+				continue
+			}
+			if s.rate <= 0 {
+				continue // starved this round; a future reallocate unblocks it
+			}
+			t := now + sim.FromSeconds(s.rem/s.rate)
+			if t <= now {
+				t = now + 1
+			}
+			if t < soonest {
+				soonest = t
+			}
+		}
+	}
+	if soonest == sim.MaxTime {
+		// Nothing has pending work: everything finishes now.
+		soonest = now + 1
+	}
+	d.next = d.sim.At(soonest, d.onProgress)
+}
+
+// onProgress fires at the earliest sub-stream completion: it advances
+// work, retires finished kernels, and reallocates.
+func (d *Device) onProgress() {
+	d.next = nil
+	d.progress()
+	var finished []*run
+	remaining := d.running[:0]
+	for _, r := range d.running {
+		if r.remC <= workEps && r.remB <= workEps && r.remComm <= workEps {
+			finished = append(finished, r)
+		} else {
+			remaining = append(remaining, r)
+		}
+	}
+	d.running = remaining
+	for _, r := range finished {
+		r.part.current = nil
+	}
+	d.reallocate()
+	for _, r := range finished {
+		if r.done != nil {
+			r.done()
+		}
+		r.part.tryStart()
+	}
+}
+
+// workEps tolerates float residue when deciding a sub-stream is done: one
+// FLOP or byte out of any realistic kernel is far below timing relevance.
+const workEps = 1e3
+
+// Stats is a snapshot of device accounting.
+type Stats struct {
+	Kernels       int64
+	SMUtil        float64 // time-avg fraction of SMs occupied over the active window
+	ComputeUtil   float64 // time-avg achieved FLOPs / peak
+	BWUtil        float64 // time-avg used bandwidth / peak
+	Util          float64 // blended "Nsight-style" utilization
+	ActiveSeconds float64
+	LaunchSeconds float64
+}
+
+// Stats returns accounting over the device's active window (first kernel
+// start to last activity).
+func (d *Device) Stats() Stats {
+	d.progress()
+	var window float64
+	if d.firstWork >= 0 && d.lastWork > d.firstWork {
+		window = (d.lastWork - d.firstWork).Seconds()
+	}
+	st := Stats{Kernels: d.kernels, ActiveSeconds: window, LaunchSeconds: d.launchInt}
+	if window > 0 {
+		st.SMUtil = d.smInt / window
+		st.ComputeUtil = d.computeInt / window
+		st.BWUtil = d.bwInt / window
+		// Nsight's metric reflects active SMs and intra-SM activity: a
+		// memory-bound kernel keeps its SMs "active" while streaming.
+		st.Util = math.Min(1, math.Max(st.ComputeUtil/d.Spec.MFUPrefill, st.BWUtil))
+	}
+	return st
+}
+
+// HostBacklog returns how far ahead of the simulated clock the launcher
+// thread is committed (queued launch work).
+func (d *Device) HostBacklog() sim.Time {
+	if d.hostFreeAt <= d.sim.Now() {
+		return 0
+	}
+	return d.hostFreeAt - d.sim.Now()
+}
+
+// waterfill distributes capacity across demands with max-min fairness:
+// every demand gets min(demand, fair share), and leftover capacity is
+// redistributed among unsatisfied demands.
+func waterfill(demands []float64, capacity float64) []float64 {
+	alloc := make([]float64, len(demands))
+	var total float64
+	active := 0
+	for _, v := range demands {
+		if v > 0 {
+			total += v
+			active++
+		}
+	}
+	if active == 0 {
+		return alloc
+	}
+	if total <= capacity {
+		copy(alloc, demands)
+		return alloc
+	}
+	remaining := capacity
+	unsat := make([]int, 0, active)
+	for i, v := range demands {
+		if v > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	for len(unsat) > 0 {
+		fair := remaining / float64(len(unsat))
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			if demands[i] <= fair {
+				alloc[i] = demands[i]
+				remaining -= demands[i]
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progressed {
+			fair = remaining / float64(len(unsat))
+			for _, i := range unsat {
+				alloc[i] = fair
+			}
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,287 @@
+// Package kvcache implements a paged KV cache pool with a radix prefix
+// tree, the SGLang-style substrate the paper's aggregated serving relies
+// on: one pool shared by the prefill and decode phases, cross-request
+// prefix reuse, LRU eviction, and pinning for in-flight requests.
+//
+// Token content is abstracted as a sequence of PageIDs: two requests that
+// share a context prefix present the same leading page IDs (the workload
+// generator derives IDs from session identity and position), so prefix
+// matching behaves exactly like hash-based radix caching over real tokens.
+package kvcache
+
+import "container/heap"
+
+// PageID identifies the content of one KV page (a hash over the tokens it
+// covers in a real system).
+type PageID uint64
+
+// DefaultPageTokens is the paged-attention block size used throughout the
+// reproduction.
+const DefaultPageTokens = 16
+
+// PageCount returns how many pages cover n tokens.
+func PageCount(tokens, pageTokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + pageTokens - 1) / pageTokens
+}
+
+type node struct {
+	page       PageID
+	parent     *node
+	children   map[PageID]*node
+	pins       int
+	lastAccess int64
+	dead       bool
+}
+
+// evictable reports whether the node could be evicted right now.
+func (n *node) evictable() bool { return !n.dead && len(n.children) == 0 && n.pins == 0 }
+
+// evEntry is a lazy LRU heap entry; it is stale once the node's
+// lastAccess moved past the recorded access or the node died.
+type evEntry struct {
+	n      *node
+	access int64
+}
+
+type evHeap []evEntry
+
+func (h evHeap) Len() int           { return len(h) }
+func (h evHeap) Less(i, j int) bool { return h[i].access < h[j].access }
+func (h evHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)        { *h = append(*h, x.(evEntry)) }
+func (h *evHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Stats summarises cache effectiveness.
+type Stats struct {
+	Lookups    int64
+	HitTokens  int64
+	MissTokens int64
+	Evictions  int64
+	Inserts    int64
+}
+
+// HitRate returns token-weighted hit rate, 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.HitTokens + s.MissTokens
+	if total == 0 {
+		return 0
+	}
+	return float64(s.HitTokens) / float64(total)
+}
+
+// Pool is a KV cache pool measured in tokens. It combines a radix prefix
+// tree of cached pages with a reservation counter for the KV of running
+// requests that has not yet been published into the tree.
+type Pool struct {
+	capacity   int64
+	pageTokens int
+
+	root      *node
+	usedPages int64
+	reserved  int64
+	lru       evHeap
+	clock     int64
+	stats     Stats
+}
+
+// New creates a pool holding capacityTokens of KV, paged by pageTokens.
+func New(capacityTokens int64, pageTokens int) *Pool {
+	if pageTokens <= 0 {
+		pageTokens = DefaultPageTokens
+	}
+	return &Pool{
+		capacity:   capacityTokens,
+		pageTokens: pageTokens,
+		root:       &node{children: map[PageID]*node{}},
+	}
+}
+
+// Capacity returns pool capacity in tokens.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// PageTokens returns tokens per page.
+func (p *Pool) PageTokens() int { return p.pageTokens }
+
+// Used returns tokens held by the prefix tree.
+func (p *Pool) Used() int64 { return p.usedPages * int64(p.pageTokens) }
+
+// Reserved returns tokens reserved for in-flight request state.
+func (p *Pool) Reserved() int64 { return p.reserved }
+
+// Free returns tokens neither cached nor reserved.
+func (p *Pool) Free() int64 { return p.capacity - p.Used() - p.reserved }
+
+// Stats returns a snapshot of cache statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+func (p *Pool) tick() int64 {
+	p.clock++
+	return p.clock
+}
+
+// touch refreshes a node's recency and re-lists it if evictable.
+func (p *Pool) touch(n *node) {
+	n.lastAccess = p.tick()
+	if n.evictable() {
+		heap.Push(&p.lru, evEntry{n, n.lastAccess})
+	}
+}
+
+// listIfEvictable registers the node in the eviction heap when eligible,
+// keeping its own recency (a parent that becomes a leaf after a child
+// eviction must not jump to most-recently-used).
+func (p *Pool) listIfEvictable(n *node) {
+	if n != p.root && n.evictable() {
+		heap.Push(&p.lru, evEntry{n, n.lastAccess})
+	}
+}
+
+// Match walks the tree and returns how many leading pages of the sequence
+// are cached, refreshing their recency.
+func (p *Pool) Match(pages []PageID) int {
+	n := p.root
+	matched := 0
+	for _, pg := range pages {
+		child, ok := n.children[pg]
+		if !ok {
+			break
+		}
+		p.touch(child)
+		n = child
+		matched++
+	}
+	return matched
+}
+
+// MatchTokens performs Match and converts the result to tokens, capped at
+// totalTokens, recording hit/miss statistics.
+func (p *Pool) MatchTokens(pages []PageID, totalTokens int) int {
+	hitPages := p.Match(pages)
+	hit := hitPages * p.pageTokens
+	if hit > totalTokens {
+		hit = totalTokens
+	}
+	p.stats.Lookups++
+	p.stats.HitTokens += int64(hit)
+	p.stats.MissTokens += int64(totalTokens - hit)
+	return hit
+}
+
+// evictOne removes the least recently used unpinned leaf. It returns
+// false when nothing is evictable.
+func (p *Pool) evictOne() bool {
+	for len(p.lru) > 0 {
+		e := heap.Pop(&p.lru).(evEntry)
+		n := e.n
+		if n.dead || !n.evictable() || n.lastAccess != e.access {
+			continue // stale entry
+		}
+		n.dead = true
+		delete(n.parent.children, n.page)
+		p.usedPages--
+		p.stats.Evictions++
+		p.listIfEvictable(n.parent)
+		return true
+	}
+	return false
+}
+
+// freeTokens evicts until at least want tokens are free (or nothing more
+// can be evicted). It reports whether the target was reached.
+func (p *Pool) freeTokens(want int64) bool {
+	for p.Free() < want {
+		if !p.evictOne() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reserve claims tokens for in-flight KV (growing decode state or KV
+// being computed by prefill), evicting cached pages if needed. It fails
+// without side effects beyond evictions when capacity cannot be found.
+func (p *Pool) Reserve(tokens int64) bool {
+	if tokens <= 0 {
+		return true
+	}
+	if !p.freeTokens(tokens) {
+		return false
+	}
+	p.reserved += tokens
+	return true
+}
+
+// Release returns previously reserved tokens.
+func (p *Pool) Release(tokens int64) {
+	p.reserved -= tokens
+	if p.reserved < 0 {
+		p.reserved = 0
+	}
+}
+
+// Insert publishes a page sequence into the tree (typically a finished
+// request's full context). Pages already present are deduplicated. If
+// space runs out mid-insert, the remaining suffix is dropped — matching
+// radix caches that keep whatever prefix fits. Returns pages added.
+func (p *Pool) Insert(pages []PageID) int {
+	n := p.root
+	added := 0
+	for _, pg := range pages {
+		if child, ok := n.children[pg]; ok {
+			p.touch(child)
+			n = child
+			continue
+		}
+		if !p.freeTokens(int64(p.pageTokens)) {
+			break
+		}
+		child := &node{page: pg, parent: n, children: map[PageID]*node{}, lastAccess: p.tick()}
+		n.children[pg] = child
+		p.usedPages++
+		p.stats.Inserts++
+		p.listIfEvictable(child)
+		n = child
+		added++
+	}
+	return added
+}
+
+// Pin protects the first count pages of the sequence (walking from the
+// root) from eviction. Pages not present are ignored. Unpin must mirror
+// each Pin with the same arguments.
+func (p *Pool) Pin(pages []PageID, count int) {
+	p.adjustPins(pages, count, +1)
+}
+
+// Unpin releases a prior Pin.
+func (p *Pool) Unpin(pages []PageID, count int) {
+	p.adjustPins(pages, count, -1)
+}
+
+func (p *Pool) adjustPins(pages []PageID, count, delta int) {
+	n := p.root
+	for i := 0; i < count && i < len(pages); i++ {
+		child, ok := n.children[pages[i]]
+		if !ok {
+			return
+		}
+		child.pins += delta
+		if child.pins < 0 {
+			child.pins = 0
+		}
+		p.listIfEvictable(child)
+		n = child
+	}
+}
+
+// Clear drops all cached pages (used by disaggregated engines when an
+// instance releases its pool) and resets reservations.
+func (p *Pool) Clear() {
+	p.root = &node{children: map[PageID]*node{}}
+	p.usedPages = 0
+	p.reserved = 0
+	p.lru = p.lru[:0]
+}

@@ -1,0 +1,285 @@
+// Package loong implements the LoongServe-style dynamic disaggregation
+// baseline (§2.3.1, §4.1): elastic sequence parallelism scales the GPU
+// group per request phase — prefill grabs as many free GPUs as its
+// sequence length warrants, decode consolidates onto the fewest GPUs
+// whose memory holds the active KV. The two structural properties the
+// paper criticises are modelled faithfully: scale-down releases KV
+// immediately, so *no* cross-request reuse survives (multi-turn context
+// is recomputed from scratch), and sequence-parallel replication streams
+// the model weights once per SP slice during decode.
+package loong
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// prefillTokensPerGPU sizes elastic prefill groups: one GPU per this many
+// input tokens.
+const prefillTokensPerGPU = 8192
+
+// Engine is the dynamic-disaggregation baseline.
+type Engine struct {
+	env *serve.Env
+
+	baseTP     int // tensor parallelism inside each SP slice
+	total      int
+	free       int
+	decodeGs   int // GPUs currently in the decode group
+	devices    []*gpu.Device
+	decodeDev  map[int]*gpu.Device
+	decodePart map[int]*gpu.Partition
+
+	capTokensPerGPU int64
+	reservedTokens  int64
+
+	decode        serve.Batch
+	decodeRunning bool
+	reserved      map[*serve.Running]int64
+
+	queue   []*pjob
+	merging []*serve.Running
+	pending []*workload.Request
+}
+
+type pjob struct {
+	run  *serve.Running
+	gpus int
+}
+
+// New builds a LoongServe-style engine. Model parallelism follows the
+// paper's configuration: TP=4 per slice for large models, TP=2 for small.
+func New(env *serve.Env) serve.Engine {
+	baseTP := 2
+	if env.Arch.Params() > 30e9 {
+		baseTP = 4
+	}
+	if baseTP > env.GPUs {
+		baseTP = env.GPUs
+	}
+	perGPU := float64(env.Spec.HBMCapacity)*(1-env.ReserveFrac) - env.Arch.WeightBytes()/float64(baseTP)
+	capTok := int64(perGPU / env.Arch.KVBytesPerToken())
+	if capTok < 0 {
+		capTok = 0
+	}
+	e := &Engine{
+		env:             env,
+		baseTP:          baseTP,
+		total:           env.GPUs,
+		free:            env.GPUs,
+		decodeDev:       map[int]*gpu.Device{},
+		decodePart:      map[int]*gpu.Partition{},
+		capTokensPerGPU: capTok,
+		reserved:        map[*serve.Running]int64{},
+	}
+	return e
+}
+
+// Name implements serve.Engine.
+func (e *Engine) Name() string { return "LoongServe" }
+
+// Timeline implements serve.Engine.
+func (e *Engine) Timeline() *metrics.Timeline { return &metrics.Timeline{} }
+
+// Devices implements serve.Engine.
+func (e *Engine) Devices() []*gpu.Device { return e.devices }
+
+// Submit implements serve.Engine.
+func (e *Engine) Submit(r *workload.Request) {
+	e.pending = append(e.pending, r)
+	e.admit()
+	e.schedule()
+}
+
+// admit checks cluster-wide KV capacity; LoongServe has no prefix cache,
+// so admission just reserves memory for the request's full context.
+func (e *Engine) admit() {
+	for len(e.pending) > 0 {
+		if e.decode.Size()+len(e.queue)+len(e.merging) >= e.env.MaxBatch {
+			return
+		}
+		r := e.pending[0]
+		need := int64(r.InputTokens + r.OutputTokens)
+		if e.reservedTokens+need > e.capTokensPerGPU*int64(e.total) {
+			return
+		}
+		e.pending = e.pending[1:]
+		e.reservedTokens += need
+		run := &serve.Running{R: r} // CachedTokens stays 0: no reuse
+		e.reserved[run] = need
+		e.queue = append(e.queue, &pjob{run: run})
+	}
+}
+
+func (e *Engine) schedule() {
+	// An idle decode group returns its GPUs to the elastic pool — the
+	// scale-to-zero flexibility Fig. 4b illustrates.
+	if e.decode.Size() == 0 && !e.decodeRunning && len(e.merging) == 0 && e.decodeGs > 0 {
+		e.free += e.decodeGs
+		e.decodeGs = 0
+	}
+	e.startPrefills()
+	e.startDecode()
+}
+
+// roundUpTP rounds a GPU count up to a multiple of the TP slice width.
+func (e *Engine) roundUpTP(g int) int {
+	if g < e.baseTP {
+		return e.baseTP
+	}
+	if rem := g % e.baseTP; rem != 0 {
+		g += e.baseTP - rem
+	}
+	return g
+}
+
+// startPrefills elastically assigns free GPUs to queued prefill jobs.
+func (e *Engine) startPrefills() {
+	for len(e.queue) > 0 {
+		job := e.queue[0]
+		want := e.roundUpTP((job.run.R.InputTokens + prefillTokensPerGPU - 1) / prefillTokensPerGPU)
+		g := want
+		if g > e.free {
+			g = e.roundUpTP(e.free) // roundUp may exceed free; check below
+			if g > e.free {
+				g -= e.baseTP
+			}
+		}
+		if g < e.baseTP {
+			return // no capacity; wait for a release
+		}
+		e.queue = e.queue[1:]
+		e.free -= g
+		job.gpus = g
+		e.launchPrefill(job)
+	}
+}
+
+// launchPrefill runs the job's whole prefill phase on a fresh elastic
+// group of job.gpus GPUs. The full context is recomputed (Reused = 0).
+func (e *Engine) launchPrefill(job *pjob) {
+	dev := gpu.NewDevice(e.env.Sim, e.env.Spec, job.gpus, "loong-prefill")
+	e.devices = append(e.devices, dev)
+	part := dev.Partition(e.env.Spec.SMs, "prefill")
+	phase := e.env.Arch.PrefillPhase([]model.Seq{{New: job.run.R.InputTokens}}, job.gpus)
+	part.Launch(gpu.Kernel{
+		Label: "prefill-phase", Kind: gpu.Prefill,
+		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
+		Tokens: phase.Tokens,
+		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
+	}, func() { e.onPrefillDone(job) })
+}
+
+// onPrefillDone releases the elastic group and migrates the KV into the
+// decode group.
+func (e *Engine) onPrefillDone(job *pjob) {
+	e.free += job.gpus
+	run := job.run
+	e.env.Rec.PrefillDone(run.R.InputTokens)
+	// Freed GPUs may unblock queued prefills or a starved decode group
+	// before the KV migration completes.
+	defer e.schedule()
+	kvBytes := float64(run.R.InputTokens) * e.env.Arch.KVBytesPerToken()
+	delay := sim.FromSeconds(kvBytes / (e.env.Spec.NVLinkBandwidth * float64(job.gpus)))
+	e.env.Sim.After(delay, func() {
+		e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
+		run.Generated = 1
+		if run.DecodeDone() {
+			e.finish(run)
+		} else if e.decodeRunning {
+			e.merging = append(e.merging, run)
+		} else {
+			e.decode.Add(run)
+		}
+		e.schedule()
+	})
+}
+
+func (e *Engine) finish(run *serve.Running) {
+	e.env.Rec.Finish(run.R.ID, e.env.Sim.Now())
+	e.reservedTokens -= e.reserved[run]
+	delete(e.reserved, run)
+	e.admit()
+}
+
+// resizeDecodeGroup consolidates the decode group to the fewest GPUs
+// whose memory holds the active decode KV.
+func (e *Engine) resizeDecodeGroup() {
+	var kvTokens int64
+	for _, r := range e.decode.Reqs {
+		kvTokens += int64(r.CtxTokens())
+	}
+	need := e.baseTP
+	if e.capTokensPerGPU > 0 {
+		need = e.roundUpTP(int((kvTokens + e.capTokensPerGPU - 1) / e.capTokensPerGPU))
+	}
+	if need < e.baseTP {
+		need = e.baseTP
+	}
+	if need > e.decodeGs {
+		grow := need - e.decodeGs
+		if grow > e.free {
+			grow = (e.free / e.baseTP) * e.baseTP
+		}
+		e.decodeGs += grow
+		e.free -= grow
+	} else if need < e.decodeGs {
+		e.free += e.decodeGs - need
+		e.decodeGs = need
+	}
+}
+
+// decodePartition returns the persistent full-SM stream of the decode
+// device for the current group size.
+func (e *Engine) decodePartition() *gpu.Partition {
+	if p, ok := e.decodePart[e.decodeGs]; ok {
+		return p
+	}
+	d := gpu.NewDevice(e.env.Sim, e.env.Spec, e.decodeGs, "loong-decode")
+	e.decodeDev[e.decodeGs] = d
+	p := d.Partition(e.env.Spec.SMs, "decode")
+	e.decodePart[e.decodeGs] = p
+	e.devices = append(e.devices, d)
+	return p
+}
+
+// startDecode runs the next iteration on the elastic decode group.
+func (e *Engine) startDecode() {
+	if e.decodeRunning || e.decode.Size() == 0 {
+		return
+	}
+	e.resizeDecodeGroup()
+	if e.decodeGs < e.baseTP {
+		return // every GPU is in a prefill group; retried on release
+	}
+	part := e.decodePartition()
+	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.decodeGs)
+	// Sequence parallelism replicates weights across slices: each SP
+	// slice streams the full (TP-sharded) weights.
+	slices := e.decodeGs / e.baseTP
+	if slices > 1 {
+		cost.Bytes += float64(slices-1) * e.env.Arch.WeightBytes()
+	}
+	e.decodeRunning = true
+	part.Launch(gpu.Kernel{
+		Label: "decode", Kind: gpu.Decode,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
+	}, func() {
+		now := e.env.Sim.Now()
+		e.decodeRunning = false
+		finished := e.decode.Step(now, e.env.Rec)
+		for _, r := range finished {
+			e.finish(r)
+		}
+		for _, r := range e.merging {
+			e.decode.Add(r)
+		}
+		e.merging = e.merging[:0]
+		e.schedule()
+	})
+}

@@ -1,0 +1,369 @@
+// Package metrics records per-request serving latencies and aggregates
+// them into the statistics the paper reports: TTFT, TBT, TPOT, end-to-end
+// latency (average/P50/P99), token throughput, SLO attainment, and the
+// partition timeline of Fig. 18.
+//
+// The paper's metric choices are followed exactly: TBT is the gap between
+// consecutive token emissions of a request (stricter than the TPOT
+// average, §4.1), TTFT is first-token time minus arrival, and SLO
+// attainment is the fraction of TBT samples within the target.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"muxwise/internal/sim"
+)
+
+// SLO holds the latency targets of a serving class.
+type SLO struct {
+	TTFT sim.Time
+	TBT  sim.Time
+}
+
+// reqRec tracks one request's lifecycle.
+type reqRec struct {
+	arrival     sim.Time
+	firstToken  sim.Time
+	lastToken   sim.Time
+	finished    sim.Time
+	tokens      int
+	inputTokens int
+	done        bool
+}
+
+// Recorder collects latency samples during a simulation run.
+type Recorder struct {
+	reqs map[int]*reqRec
+	ids  []int // insertion order for deterministic iteration
+
+	tbt []float64 // seconds, all requests pooled
+
+	prefillTokens int64
+	decodeTokens  int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{reqs: map[int]*reqRec{}}
+}
+
+// Arrive registers a request's arrival.
+func (r *Recorder) Arrive(id int, at sim.Time, inputTokens int) {
+	if _, ok := r.reqs[id]; ok {
+		return
+	}
+	r.reqs[id] = &reqRec{arrival: at, firstToken: -1, inputTokens: inputTokens}
+	r.ids = append(r.ids, id)
+}
+
+// PrefillDone credits processed prefill tokens (throughput accounting).
+func (r *Recorder) PrefillDone(tokens int) { r.prefillTokens += int64(tokens) }
+
+// Token records one generated token for the request. The first token
+// defines TTFT; subsequent tokens contribute TBT samples.
+func (r *Recorder) Token(id int, at sim.Time) {
+	rec, ok := r.reqs[id]
+	if !ok {
+		return
+	}
+	rec.tokens++
+	r.decodeTokens++
+	if rec.firstToken < 0 {
+		rec.firstToken = at
+	} else {
+		r.tbt = append(r.tbt, (at - rec.lastToken).Seconds())
+	}
+	rec.lastToken = at
+}
+
+// Finish marks the request complete.
+func (r *Recorder) Finish(id int, at sim.Time) {
+	if rec, ok := r.reqs[id]; ok && !rec.done {
+		rec.finished = at
+		rec.done = true
+	}
+}
+
+// Quantiles summarises a latency sample set in seconds.
+type Quantiles struct {
+	Avg, P50, P90, P99, Max float64
+	N                       int
+}
+
+func quantiles(samples []float64) Quantiles {
+	q := Quantiles{N: len(samples)}
+	if len(samples) == 0 {
+		return q
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	q.Avg = sum / float64(len(s))
+	q.P50 = percentile(s, 0.50)
+	q.P90 = percentile(s, 0.90)
+	q.P99 = percentile(s, 0.99)
+	q.Max = s[len(s)-1]
+	return q
+}
+
+// percentile returns the p-quantile of a sorted sample via the
+// nearest-rank method the serving literature uses for tail latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String formats the headline quantiles in milliseconds.
+func (q Quantiles) String() string {
+	return fmt.Sprintf("avg=%.1fms p50=%.1fms p99=%.1fms", q.Avg*1e3, q.P50*1e3, q.P99*1e3)
+}
+
+// Summary aggregates a completed run.
+type Summary struct {
+	Name     string
+	Requests int
+	Finished int
+
+	TTFT Quantiles
+	TBT  Quantiles
+	TPOT Quantiles
+	E2E  Quantiles
+
+	// TTFTPerToken normalises TTFT by input length (§4.4.3 / Fig. 20).
+	TTFTPerToken Quantiles
+
+	// TokensPerSecond counts prefill+decode tokens over the active span.
+	TokensPerSecond float64
+	DecodeTokens    int64
+	PrefillTokens   int64
+
+	Makespan sim.Time
+
+	// Backlog is the number of requests still unfinished shortly after
+	// the last arrival (set by the runner's stability probe).
+	Backlog int
+
+	// Unstable marks runs where the system could not keep up — a large
+	// backlog after arrivals stop, or unfinished work at the horizon —
+	// mirroring the paper's "unstable" baseline states in Fig. 14/15.
+	Unstable bool
+}
+
+// TBTAttainment returns the fraction of TBT samples within the SLO.
+func (r *Recorder) TBTAttainment(slo sim.Time) float64 {
+	if len(r.tbt) == 0 {
+		return 1
+	}
+	target := slo.Seconds()
+	ok := 0
+	for _, v := range r.tbt {
+		if v <= target {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.tbt))
+}
+
+// TTFTAttainment returns the fraction of first tokens within the SLO.
+func (r *Recorder) TTFTAttainment(slo sim.Time) float64 {
+	total, ok := 0, 0
+	for _, id := range r.ids {
+		rec := r.reqs[id]
+		if rec.firstToken < 0 {
+			continue
+		}
+		total++
+		if rec.firstToken-rec.arrival <= slo {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// Summarize builds the run summary. now is the simulation end time, used
+// for makespan and stability accounting.
+func (r *Recorder) Summarize(name string, now sim.Time) Summary {
+	s := Summary{Name: name, Makespan: now}
+	var ttft, tpot, e2e, perTok []float64
+	for _, id := range r.ids {
+		rec := r.reqs[id]
+		s.Requests++
+		if rec.firstToken >= 0 {
+			t := (rec.firstToken - rec.arrival).Seconds()
+			ttft = append(ttft, t)
+			if rec.inputTokens > 0 {
+				perTok = append(perTok, t/float64(rec.inputTokens))
+			}
+		}
+		if !rec.done {
+			continue
+		}
+		s.Finished++
+		e2e = append(e2e, (rec.finished - rec.arrival).Seconds())
+		if rec.tokens > 1 {
+			tpot = append(tpot, (rec.lastToken-rec.firstToken).Seconds()/float64(rec.tokens-1))
+		}
+	}
+	s.TTFT = quantiles(ttft)
+	s.TBT = quantiles(r.tbt)
+	s.TPOT = quantiles(tpot)
+	s.E2E = quantiles(e2e)
+	s.TTFTPerToken = quantiles(perTok)
+	s.DecodeTokens = r.decodeTokens
+	s.PrefillTokens = r.prefillTokens
+	if sec := now.Seconds(); sec > 0 {
+		s.TokensPerSecond = float64(r.prefillTokens+r.decodeTokens) / sec
+	}
+	s.Unstable = s.Finished < s.Requests*95/100
+	return s
+}
+
+// Unfinished returns how many arrived requests have not completed.
+func (r *Recorder) Unfinished() int {
+	n := 0
+	for _, id := range r.ids {
+		if !r.reqs[id].done {
+			n++
+		}
+	}
+	return n
+}
+
+// TBTSamples exposes raw TBT samples in seconds (CDF plotting).
+func (r *Recorder) TBTSamples() []float64 { return r.tbt }
+
+// TTFTPerTokenSamples returns TTFT/input-length for every started request.
+func (r *Recorder) TTFTPerTokenSamples() []float64 {
+	var out []float64
+	for _, id := range r.ids {
+		rec := r.reqs[id]
+		if rec.firstToken >= 0 && rec.inputTokens > 0 {
+			out = append(out, (rec.firstToken-rec.arrival).Seconds()/float64(rec.inputTokens))
+		}
+	}
+	return out
+}
+
+// Timeline records a step function of the compute partition over time
+// (Fig. 18: SM share of prefill vs decode).
+type Timeline struct {
+	times      []sim.Time
+	decodeSMs  []int
+	prefillSMs []int
+}
+
+// Record appends a partition change.
+func (tl *Timeline) Record(at sim.Time, decodeSMs, prefillSMs int) {
+	n := len(tl.times)
+	if n > 0 && tl.decodeSMs[n-1] == decodeSMs && tl.prefillSMs[n-1] == prefillSMs {
+		return
+	}
+	tl.times = append(tl.times, at)
+	tl.decodeSMs = append(tl.decodeSMs, decodeSMs)
+	tl.prefillSMs = append(tl.prefillSMs, prefillSMs)
+}
+
+// Changes returns the number of distinct partition configurations seen.
+func (tl *Timeline) Changes() int { return len(tl.times) }
+
+// DistinctConfigs returns how many distinct (decode, prefill) pairs occur.
+func (tl *Timeline) DistinctConfigs() int {
+	set := map[[2]int]bool{}
+	for i := range tl.times {
+		set[[2]int{tl.decodeSMs[i], tl.prefillSMs[i]}] = true
+	}
+	return len(set)
+}
+
+// MeanShares returns the time-weighted mean SM share of decode and
+// prefill over [0, end].
+func (tl *Timeline) MeanShares(end sim.Time, totalSMs int) (decode, prefill float64) {
+	if len(tl.times) == 0 || totalSMs == 0 {
+		return 0, 0
+	}
+	var dInt, pInt float64
+	for i := range tl.times {
+		until := end
+		if i+1 < len(tl.times) {
+			until = tl.times[i+1]
+		}
+		if until > end {
+			until = end
+		}
+		dt := (until - tl.times[i]).Seconds()
+		if dt < 0 {
+			dt = 0
+		}
+		dInt += float64(tl.decodeSMs[i]) * dt
+		pInt += float64(tl.prefillSMs[i]) * dt
+	}
+	span := (end - tl.times[0]).Seconds()
+	if span <= 0 {
+		return 0, 0
+	}
+	return dInt / span / float64(totalSMs), pInt / span / float64(totalSMs)
+}
+
+// MeanSharesActive is MeanShares restricted to intervals where the
+// prefill partition holds SMs — the co-running periods Fig. 18 plots.
+// It returns zeros when the phases never multiplexed.
+func (tl *Timeline) MeanSharesActive(end sim.Time, totalSMs int) (decode, prefill float64) {
+	if len(tl.times) == 0 || totalSMs == 0 {
+		return 0, 0
+	}
+	var dInt, pInt, span float64
+	for i := range tl.times {
+		if tl.prefillSMs[i] == 0 {
+			continue
+		}
+		until := end
+		if i+1 < len(tl.times) {
+			until = tl.times[i+1]
+		}
+		if until > end {
+			until = end
+		}
+		dt := (until - tl.times[i]).Seconds()
+		if dt < 0 {
+			dt = 0
+		}
+		dInt += float64(tl.decodeSMs[i]) * dt
+		pInt += float64(tl.prefillSMs[i]) * dt
+		span += dt
+	}
+	if span <= 0 {
+		return 0, 0
+	}
+	return dInt / span / float64(totalSMs), pInt / span / float64(totalSMs)
+}
+
+// ConfigsWithin counts distinct configurations active inside [from, to]
+// (used for the §4.4.1 observation that bursty intervals activate all six
+// partition configurations within 30 s).
+func (tl *Timeline) ConfigsWithin(from, to sim.Time) int {
+	set := map[[2]int]bool{}
+	for i := range tl.times {
+		if tl.times[i] >= from && tl.times[i] <= to {
+			set[[2]int{tl.decodeSMs[i], tl.prefillSMs[i]}] = true
+		}
+	}
+	return len(set)
+}

@@ -1,0 +1,207 @@
+package model
+
+import "math"
+
+// Seq describes one sequence's position in the prefill pipeline.
+type Seq struct {
+	// New is the number of tokens this kernel computes for the sequence.
+	New int
+	// Prior is the number of new-context tokens already processed by
+	// earlier chunks/layers of the same request (nonzero only under
+	// chunked prefill).
+	Prior int
+	// Reused is the cached-context length (KV hits from earlier turns).
+	Reused int
+}
+
+// Cost is a kernel resource footprint across the whole TP group.
+type Cost struct {
+	FLOPs     float64
+	Bytes     float64
+	CommBytes float64
+	Tokens    int
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.FLOPs += o.FLOPs
+	c.Bytes += o.Bytes
+	c.CommBytes += o.CommBytes
+	c.Tokens += o.Tokens
+}
+
+// Scale multiplies all components (used for layer ↔ phase conversion).
+func (c Cost) Scale(f float64) Cost {
+	return Cost{
+		FLOPs:     c.FLOPs * f,
+		Bytes:     c.Bytes * f,
+		CommBytes: c.CommBytes * f,
+		Tokens:    c.Tokens,
+	}
+}
+
+// activationBytesPerToken approximates intermediate activation traffic
+// per token per layer (reads+writes of hidden states around the matmuls).
+func (a Arch) activationBytesPerToken() float64 {
+	return 12 * float64(a.Hidden) * float64(a.BytesPerParam)
+}
+
+// ringFactor is the per-GPU ring-allreduce traffic multiplier for a
+// message of m bytes: each GPU moves 2·m·(tp−1)/tp bytes.
+func ringFactor(tp int) float64 {
+	if tp <= 1 {
+		return 0
+	}
+	return 2 * float64(tp-1) / float64(tp)
+}
+
+// attnFLOPs returns attention score+value FLOPs for n new query tokens
+// attending causally over a context that starts at ctx tokens (reused +
+// prior) and grows with each new token.
+func (a Arch) attnFLOPs(n, ctx int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nf, cf := float64(n), float64(ctx)
+	perHeadDim := float64(a.Heads * a.HeadDim)
+	// QK^T and PV each cost 2 FLOPs per (query, key) pair per head-dim.
+	pairs := nf*cf + nf*(nf+1)/2
+	return 4 * perHeadDim * pairs
+}
+
+// PrefillLayer returns the cost of running one transformer layer of
+// prefill over the batch, with tensor parallel degree tp. withWeights
+// controls whether layer weights are streamed (false when the layer is
+// fused into an iteration that already pays for them).
+func (a Arch) PrefillLayer(seqs []Seq, tp int, withWeights bool) Cost {
+	var c Cost
+	kvTok := a.KVBytesPerTokenLayer()
+	for _, s := range seqs {
+		if s.New <= 0 {
+			continue
+		}
+		n := float64(s.New)
+		ctx := s.Reused + s.Prior
+		// Projections + FFN: 2 FLOPs per parameter touched per token.
+		c.FLOPs += 2 * n * (a.qkvoParams() + a.ffnParamsActive())
+		c.FLOPs += a.attnFLOPs(s.New, ctx)
+		// KV: write the new tokens, stream the full attended context.
+		c.Bytes += n*kvTok + float64(ctx+s.New)*kvTok
+		c.Bytes += n * a.activationBytesPerToken()
+		c.Tokens += s.New
+		// Two allreduces per layer over the token activations.
+		c.CommBytes += ringFactor(tp) * 2 * n * float64(a.Hidden) * float64(a.BytesPerParam)
+	}
+	if withWeights && len(seqs) > 0 && c.Tokens > 0 {
+		if a.MoE() {
+			c.Bytes += a.moeWeightBytes(c.Tokens)
+		} else {
+			c.Bytes += a.LayerWeightBytes()
+		}
+	}
+	return c
+}
+
+// PrefillPhase returns the cost of the whole prefill phase (all layers
+// plus the LM head for the first generated token of each sequence).
+func (a Arch) PrefillPhase(seqs []Seq, tp int) Cost {
+	layer := a.PrefillLayer(seqs, tp, true)
+	c := layer.Scale(float64(a.Layers))
+	c.Tokens = layer.Tokens
+	// LM head: logits for one position per sequence.
+	head := 2 * float64(a.Hidden) * float64(a.Vocab)
+	c.FLOPs += head * float64(len(seqs))
+	c.Bytes += float64(a.Vocab) * float64(a.Hidden) * float64(a.BytesPerParam)
+	return c
+}
+
+// moeWeightBytes estimates expert weight traffic for a kernel processing
+// tok tokens: with random routing, the expected number of distinct
+// experts activated saturates at the full expert pool.
+func (a Arch) moeWeightBytes(tok int) float64 {
+	if !a.MoE() {
+		return a.LayerWeightBytes()
+	}
+	draws := float64(tok * a.ActiveExperts)
+	e := float64(a.Experts)
+	distinct := e * (1 - math.Exp(-draws/e))
+	h := float64(a.Hidden)
+	expert := 3 * h * float64(a.ExpertFFN) * float64(a.BytesPerParam)
+	router := h * e * float64(a.BytesPerParam)
+	attn := a.qkvoParams() * float64(a.BytesPerParam)
+	return attn + router + distinct*expert
+}
+
+// DecodeIter returns the cost of one decode iteration (all layers, one
+// token per request) over a batch whose per-request attended context
+// lengths are given in ctxs.
+func (a Arch) DecodeIter(ctxs []int, tp int) Cost {
+	var c Cost
+	bs := float64(len(ctxs))
+	if bs == 0 {
+		return c
+	}
+	kvTok := a.KVBytesPerTokenLayer()
+	var totalCtx float64
+	for _, r := range ctxs {
+		totalCtx += float64(r)
+	}
+	perLayerFLOPs := 2*bs*(a.qkvoParams()+a.ffnParamsActive()) +
+		4*float64(a.Heads*a.HeadDim)*(totalCtx+bs)
+	var weights float64
+	if a.MoE() {
+		weights = a.moeWeightBytes(len(ctxs))
+	} else {
+		weights = a.LayerWeightBytes()
+	}
+	perLayerBytes := weights +
+		(totalCtx+bs)*kvTok + // stream cached KV + the new token's
+		bs*kvTok + // write new KV
+		bs*a.activationBytesPerToken()
+	perLayerComm := ringFactor(tp) * 2 * bs * float64(a.Hidden) * float64(a.BytesPerParam)
+
+	c.FLOPs = float64(a.Layers) * perLayerFLOPs
+	c.Bytes = float64(a.Layers) * perLayerBytes
+	c.CommBytes = float64(a.Layers) * perLayerComm
+	c.Tokens = len(ctxs)
+	// LM head for every request in the batch.
+	c.FLOPs += 2 * bs * float64(a.Hidden) * float64(a.Vocab)
+	c.Bytes += float64(a.Vocab) * float64(a.Hidden) * float64(a.BytesPerParam)
+	return c
+}
+
+// FusedChunkIter returns the cost of a chunked-prefill iteration that
+// fuses a prefill chunk with a decode step (SARATHI-style). Weights are
+// streamed once; the chunk re-reads the KV of all previously processed
+// tokens, which is the quadratic overhead the paper highlights.
+func (a Arch) FusedChunkIter(chunk Seq, decodeCtxs []int, tp int) Cost {
+	c := a.DecodeIter(decodeCtxs, tp)
+	if chunk.New > 0 {
+		// Chunk layers without double-counting weights.
+		cl := a.PrefillLayer([]Seq{chunk}, tp, false)
+		pc := cl.Scale(float64(a.Layers))
+		pc.Tokens = cl.Tokens
+		if len(decodeCtxs) == 0 {
+			// Nothing fused: the chunk pays for weights itself.
+			if a.MoE() {
+				pc.Bytes += float64(a.Layers) * a.moeWeightBytes(chunk.New)
+			} else {
+				pc.Bytes += float64(a.Layers) * a.LayerWeightBytes()
+			}
+		}
+		c.Add(pc)
+		c.Tokens = chunk.New + len(decodeCtxs)
+	}
+	return c
+}
+
+// KVPoolTokens returns how many KV tokens fit in a serving instance's
+// pool: aggregate HBM minus weights minus a runtime reserve fraction
+// (activations, CUDA graphs, allocator slack).
+func (a Arch) KVPoolTokens(totalMemBytes int64, reserveFrac float64) int64 {
+	avail := float64(totalMemBytes)*(1-reserveFrac) - a.WeightBytes()
+	if avail <= 0 {
+		return 0
+	}
+	return int64(avail / a.KVBytesPerToken())
+}

@@ -1,0 +1,232 @@
+// Package pdsep implements the SGLang-PD baseline (§4.1): static
+// disaggregation with a prefill instance and a decode instance at a 1:1
+// GPU ratio (tensor parallelism halved per instance). Unlike DistServe,
+// KV caches are shared across phases and requests: the prefill instance
+// keeps a radix cache, and finished prefills migrate their KV to the
+// decode instance over NVLink. The structural weaknesses the paper
+// exploits are faithfully present: each instance owns only half the KV
+// pool (lower hit rate, Fig. 5), the split is static (decode idles while
+// prefill queues under bursts, and vice versa), and every prefill pays a
+// KV migration.
+package pdsep
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Engine is the static-disaggregation baseline.
+type Engine struct {
+	env *serve.Env
+
+	pDev, dDev   *gpu.Device
+	pPart, dPart *gpu.Partition
+	pPool, dPool *kvcache.Pool
+
+	decode        serve.Batch
+	decodeRunning bool
+	prefillBusy   bool
+
+	queue     []*serve.Running // waiting for the prefill instance
+	handoff   []*handoffReq    // prefill done, waiting for decode pool space
+	merging   []*serve.Running // migrated, waiting for a decode boundary
+	pending   []*workload.Request
+	dReserved map[*serve.Running]int64 // decode-pool reservations
+}
+
+type handoffReq struct {
+	run *serve.Running
+}
+
+// New builds an SGLang-PD engine with P:D = 1:1.
+func New(env *serve.Env) serve.Engine {
+	half := env.GPUs / 2
+	if half < 1 {
+		half = 1
+	}
+	pDev := gpu.NewDevice(env.Sim, env.Spec, half, "prefill-instance")
+	dDev := gpu.NewDevice(env.Sim, env.Spec, half, "decode-instance")
+	return &Engine{
+		env:       env,
+		pDev:      pDev,
+		dDev:      dDev,
+		pPart:     pDev.Partition(env.Spec.SMs, "prefill"),
+		dPart:     dDev.Partition(env.Spec.SMs, "decode"),
+		pPool:     kvcache.New(env.PoolTokens(half), kvcache.DefaultPageTokens),
+		dPool:     kvcache.New(env.PoolTokens(half), kvcache.DefaultPageTokens),
+		dReserved: map[*serve.Running]int64{},
+	}
+}
+
+// Name implements serve.Engine.
+func (e *Engine) Name() string { return "SGLang-PD" }
+
+// Timeline implements serve.Engine (the split is static).
+func (e *Engine) Timeline() *metrics.Timeline { return &metrics.Timeline{} }
+
+// Devices implements serve.Engine.
+func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.pDev, e.dDev} }
+
+// PrefillPool exposes the prefill instance's radix cache.
+func (e *Engine) PrefillPool() *kvcache.Pool { return e.pPool }
+
+// Submit implements serve.Engine.
+func (e *Engine) Submit(r *workload.Request) {
+	e.pending = append(e.pending, r)
+	e.admit()
+	e.schedule()
+}
+
+func (e *Engine) admit() {
+	for len(e.pending) > 0 {
+		if e.decode.Size()+len(e.queue)+len(e.handoff)+len(e.merging) >= e.env.MaxBatch {
+			return
+		}
+		// Admission reserves prefill-side KV for the input only; output
+		// KV lives on the decode instance.
+		r := e.pending[0]
+		hit := e.pPool.MatchTokens(r.Pages, r.InputTokens)
+		hitPages := hit / e.pPool.PageTokens()
+		need := int64(r.InputTokens - hit)
+		if !e.pPool.Reserve(need) {
+			return
+		}
+		e.pPool.Pin(r.Pages, hitPages)
+		e.pending = e.pending[1:]
+		e.queue = append(e.queue, &serve.Running{
+			R: r, CachedTokens: hit, PinnedPages: hitPages, ReservedTokens: need,
+		})
+	}
+}
+
+func (e *Engine) schedule() {
+	e.startPrefill()
+	e.tryHandoff()
+	e.startDecode()
+}
+
+// maxPrefillBatchTokens caps a prefill batch, matching SGLang's budget.
+const maxPrefillBatchTokens = 16384
+
+// startPrefill runs the next batch of queued requests on the prefill
+// instance (SGLang batches prefills up to its token budget).
+func (e *Engine) startPrefill() {
+	if e.prefillBusy || len(e.queue) == 0 {
+		return
+	}
+	var batch []*serve.Running
+	var seqs []model.Seq
+	tokens := 0
+	for len(e.queue) > 0 {
+		run := e.queue[0]
+		newTok := run.R.InputTokens - run.CachedTokens
+		if newTok < 1 {
+			newTok = 1
+		}
+		if len(batch) > 0 && tokens+newTok > maxPrefillBatchTokens {
+			break
+		}
+		e.queue = e.queue[1:]
+		batch = append(batch, run)
+		seqs = append(seqs, model.Seq{New: newTok, Reused: run.CachedTokens})
+		tokens += newTok
+	}
+	phase := e.env.Arch.PrefillPhase(seqs, e.pDev.TP)
+	e.prefillBusy = true
+	e.pPart.Launch(gpu.Kernel{
+		Label: "prefill-phase", Kind: gpu.Prefill,
+		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
+		Tokens: phase.Tokens,
+		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
+	}, func() {
+		e.prefillBusy = false
+		for _, run := range batch {
+			e.onPrefillDone(run)
+		}
+		e.schedule()
+	})
+}
+
+// onPrefillDone publishes the input KV into the prefill radix cache and
+// queues the request for migration to the decode instance.
+func (e *Engine) onPrefillDone(run *serve.Running) {
+	e.env.Rec.PrefillDone(run.R.InputTokens - run.CachedTokens)
+	// The input KV is now cached on the prefill side for future turns.
+	e.pPool.Unpin(run.R.Pages, run.PinnedPages)
+	e.pPool.Release(run.ReservedTokens)
+	e.pPool.Insert(run.R.Pages)
+	e.handoff = append(e.handoff, &handoffReq{run})
+}
+
+// tryHandoff migrates completed prefills into the decode instance when
+// its pool has room: KV crosses NVLink, then the request joins the batch
+// at the next decode boundary.
+func (e *Engine) tryHandoff() {
+	for len(e.handoff) > 0 {
+		h := e.handoff[0]
+		need := int64(h.run.R.InputTokens + h.run.R.OutputTokens)
+		if !e.dPool.Reserve(need) {
+			return // decode pool full: prefill stalls (§4.3 OpenThoughts)
+		}
+		e.handoff = e.handoff[1:]
+		e.dReserved[h.run] = need
+		run := h.run
+		kvBytes := float64(run.R.InputTokens) * e.env.Arch.KVBytesPerToken()
+		delay := sim.FromSeconds(kvBytes / (e.env.Spec.NVLinkBandwidth * float64(e.pDev.TP)))
+		e.env.Sim.After(delay, func() {
+			// First token is delivered after migration.
+			e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
+			run.Generated = 1
+			if run.DecodeDone() {
+				e.finishDecode(run)
+			} else if e.decodeRunning {
+				e.merging = append(e.merging, run)
+			} else {
+				e.decode.Add(run)
+			}
+			e.schedule()
+		})
+	}
+}
+
+func (e *Engine) finishDecode(run *serve.Running) {
+	e.env.Rec.Finish(run.R.ID, e.env.Sim.Now())
+	e.dPool.Release(e.dReserved[run])
+	delete(e.dReserved, run)
+	e.admit()
+}
+
+// startDecode runs decode iterations on the decode instance.
+func (e *Engine) startDecode() {
+	if e.decodeRunning || e.decode.Size() == 0 {
+		return
+	}
+	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.dDev.TP)
+	e.decodeRunning = true
+	e.dPart.Launch(gpu.Kernel{
+		Label: "decode", Kind: gpu.Decode,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
+	}, func() {
+		now := e.env.Sim.Now()
+		e.decodeRunning = false
+		finished := e.decode.Step(now, e.env.Rec)
+		for _, r := range finished {
+			e.dPool.Release(e.dReserved[r])
+			delete(e.dReserved, r)
+		}
+		for _, r := range e.merging {
+			e.decode.Add(r)
+		}
+		e.merging = e.merging[:0]
+		if len(finished) > 0 {
+			e.admit()
+		}
+		e.schedule()
+	})
+}

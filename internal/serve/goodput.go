@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"muxwise/internal/workload"
+)
+
+// RatePoint is one sample of a load sweep.
+type RatePoint struct {
+	Rate       float64 // offered req/s
+	Attainment float64 // fraction of TBT samples within SLO
+	P99TTFT    float64 // seconds
+	P99TBT     float64 // seconds
+	Unstable   bool
+	TokensPerS float64
+	Util       float64
+}
+
+// meets reports whether the point satisfies the goodput criterion used
+// throughout §4: stable and ≥99% of TBT samples within the SLO.
+func (p RatePoint) meets() bool { return !p.Unstable && p.Attainment >= 0.99 }
+
+// Probe runs one point of a load sweep.
+func Probe(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, rate float64) RatePoint {
+	res := Run(f, cfg, mkTrace(rate))
+	return RatePoint{
+		Rate:       rate,
+		Attainment: res.Rec.TBTAttainment(cfg.SLO.TBT),
+		P99TTFT:    res.Summary.TTFT.P99,
+		P99TBT:     res.Summary.TBT.P99,
+		Unstable:   res.Summary.Unstable,
+		TokensPerS: res.Summary.TokensPerSecond,
+		Util:       res.MeanUtil(),
+	}
+}
+
+// Sweep probes each rate in order, stopping two points after the system
+// first fails the SLO criterion (the paper stops testing once a system
+// becomes unstable, §4.2.3).
+func Sweep(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, rates []float64) []RatePoint {
+	var out []RatePoint
+	misses := 0
+	for _, r := range rates {
+		p := Probe(f, cfg, mkTrace, r)
+		out = append(out, p)
+		if !p.meets() {
+			misses++
+			if misses >= 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Goodput finds the highest offered rate (within [lo, hi]) that meets the
+// SLO criterion, by bisection to the given relative resolution.
+func Goodput(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) float64 {
+	if !Probe(f, cfg, mkTrace, lo).meets() {
+		return 0
+	}
+	best := lo
+	for i := 0; i < 7 && hi-lo > 0.02*hi; i++ {
+		mid := (lo + hi) / 2
+		if Probe(f, cfg, mkTrace, mid).meets() {
+			best, lo = mid, mid
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Config describes a serving deployment for a run.
+type Config struct {
+	Spec gpu.Spec
+	GPUs int
+	Arch model.Arch
+	SLO  metrics.SLO
+
+	// ReserveFrac of HBM withheld from KV pools (default 0.10).
+	ReserveFrac float64
+	// MaxBatch caps decode batch size (default 256).
+	MaxBatch int
+	// Horizon bounds the simulation beyond the last arrival (default
+	// 30 simulated minutes). Runs hitting the horizon with unfinished
+	// requests are summarised as unstable.
+	Horizon sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReserveFrac == 0 {
+		c.ReserveFrac = 0.10
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 30 * 60 * sim.Second
+	}
+	return c
+}
+
+// Result couples the metrics summary with engine-side accounting.
+type Result struct {
+	Summary  metrics.Summary
+	Timeline *metrics.Timeline
+	Devices  []gpu.Stats
+	CacheHit float64
+	Rec      *metrics.Recorder
+}
+
+// Run replays the trace against a fresh engine built by factory and
+// returns the aggregated result. The run is fully deterministic.
+func Run(factory Factory, cfg Config, trace *workload.Trace) Result {
+	cfg = cfg.withDefaults()
+	s := sim.New()
+	rec := metrics.NewRecorder()
+	env := &Env{
+		Sim:         s,
+		Spec:        cfg.Spec,
+		GPUs:        cfg.GPUs,
+		Arch:        cfg.Arch,
+		SLO:         cfg.SLO,
+		Rec:         rec,
+		ReserveFrac: cfg.ReserveFrac,
+		MaxBatch:    cfg.MaxBatch,
+	}
+	eng := factory(env)
+
+	var lastArrival sim.Time
+	for _, r := range trace.Requests {
+		r := r
+		rec.Arrive(r.ID, r.Arrival, r.InputTokens)
+		s.At(r.Arrival, func() { eng.Submit(r) })
+		if r.Arrival > lastArrival {
+			lastArrival = r.Arrival
+		}
+	}
+	// Stability probe: a keeping-up system holds only its in-flight
+	// requests shortly after arrivals stop; a saturated one has a queue.
+	backlog := 0
+	s.At(lastArrival+30*sim.Second, func() { backlog = rec.Unfinished() })
+	s.RunUntil(lastArrival + cfg.Horizon)
+
+	res := Result{
+		Summary:  rec.Summarize(eng.Name(), s.Now()),
+		Timeline: eng.Timeline(),
+		Rec:      rec,
+	}
+	res.Summary.Backlog = backlog
+	if n := res.Summary.Requests; backlog > 10 && backlog*50 > n {
+		res.Summary.Unstable = true
+	}
+	for _, d := range eng.Devices() {
+		res.Devices = append(res.Devices, d.Stats())
+	}
+	return res
+}
+
+// MeanUtil averages the blended utilization across the engine's devices.
+func (r Result) MeanUtil() float64 {
+	if len(r.Devices) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range r.Devices {
+		sum += d.Util
+	}
+	return sum / float64(len(r.Devices))
+}

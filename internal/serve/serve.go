@@ -1,0 +1,170 @@
+// Package serve defines the pieces every serving engine shares: the
+// runtime view of a request, KV-cache admission, decode-batch
+// bookkeeping, the engine interface, and the trace runner that couples a
+// workload to an engine on a simulated cluster.
+package serve
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Env is everything an engine needs to build itself.
+type Env struct {
+	Sim  *sim.Sim
+	Spec gpu.Spec
+	GPUs int // physical GPUs available to the engine
+	Arch model.Arch
+	SLO  metrics.SLO
+	Rec  *metrics.Recorder
+
+	// ReserveFrac of HBM is withheld from the KV pool for activations,
+	// CUDA graphs and allocator slack.
+	ReserveFrac float64
+
+	// MaxBatch caps the decode batch size (SGLang default-style).
+	MaxBatch int
+}
+
+// PoolTokens returns the KV pool capacity for an instance spanning gpus
+// devices, given the env's model and reserve fraction.
+func (e *Env) PoolTokens(gpus int) int64 {
+	return e.Arch.KVPoolTokens(int64(gpus)*e.Spec.HBMCapacity, e.ReserveFrac)
+}
+
+// Engine is a serving scheduler under test.
+type Engine interface {
+	Name() string
+	// Submit delivers a request at its arrival time (called by the
+	// runner from inside the simulation).
+	Submit(r *workload.Request)
+	// Timeline returns the engine's partition timeline if it keeps one.
+	Timeline() *metrics.Timeline
+	// Devices exposes the engine's logical devices for utilization
+	// accounting.
+	Devices() []*gpu.Device
+}
+
+// Factory builds an engine inside a prepared environment.
+type Factory func(env *Env) Engine
+
+// Running is a request in flight: admission state plus decode progress.
+type Running struct {
+	R *workload.Request
+
+	// CachedTokens is the prefix-cache hit measured at admission.
+	CachedTokens int
+	// PinnedPages counts radix pages pinned for the request's lifetime.
+	PinnedPages int
+	// ReservedTokens is pool space reserved for new KV (input miss +
+	// output).
+	ReservedTokens int64
+
+	// Generated counts decode tokens produced so far.
+	Generated int
+	// PrefilledTokens tracks chunked progress through the new context.
+	PrefilledTokens int
+}
+
+// CtxTokens returns the current attended context length.
+func (r *Running) CtxTokens() int { return r.R.InputTokens + r.Generated }
+
+// DecodeDone reports whether all output tokens have been generated.
+func (r *Running) DecodeDone() bool { return r.Generated >= r.R.OutputTokens }
+
+// PrefillRemaining returns new-context tokens not yet prefilled.
+func (r *Running) PrefillRemaining() int {
+	rem := r.R.InputTokens - r.CachedTokens - r.PrefilledTokens
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Admit performs cache lookup, pinning and pool reservation for a
+// request. It returns nil when the pool cannot hold the request's KV (the
+// caller should queue and retry after a completion frees space).
+func Admit(pool *kvcache.Pool, r *workload.Request) *Running {
+	hit := pool.MatchTokens(r.Pages, r.InputTokens)
+	hitPages := hit / pool.PageTokens()
+	need := int64(r.InputTokens - hit + r.OutputTokens)
+	if !pool.Reserve(need) {
+		// Roll back the optimistic statistics? No: lookup stats stand —
+		// the lookup really happened; only the reservation failed.
+		return nil
+	}
+	pool.Pin(r.Pages, hitPages)
+	return &Running{
+		R:              r,
+		CachedTokens:   hit,
+		PinnedPages:    hitPages,
+		ReservedTokens: need,
+	}
+}
+
+// Complete publishes the finished request's KV into the pool and releases
+// its pins and reservation.
+func (r *Running) Complete(pool *kvcache.Pool) {
+	pool.Unpin(r.R.Pages, r.PinnedPages)
+	pool.Release(r.ReservedTokens)
+	pool.Insert(r.R.AllPages)
+}
+
+// Abort releases admission state without publishing KV (used by engines
+// that drop work on reconfiguration, e.g. LoongServe scale-down).
+func (r *Running) Abort(pool *kvcache.Pool) {
+	pool.Unpin(r.R.Pages, r.PinnedPages)
+	pool.Release(r.ReservedTokens)
+}
+
+// Batch is a decode batch.
+type Batch struct {
+	Reqs []*Running
+}
+
+// Size returns the batch size.
+func (b *Batch) Size() int { return len(b.Reqs) }
+
+// Ctxs returns per-request attended context lengths for the cost model.
+func (b *Batch) Ctxs() []int {
+	out := make([]int, len(b.Reqs))
+	for i, r := range b.Reqs {
+		out[i] = r.CtxTokens()
+	}
+	return out
+}
+
+// TotalCtx returns the summed context length of the batch.
+func (b *Batch) TotalCtx() int {
+	t := 0
+	for _, r := range b.Reqs {
+		t += r.CtxTokens()
+	}
+	return t
+}
+
+// Add appends a request to the batch.
+func (b *Batch) Add(r *Running) { b.Reqs = append(b.Reqs, r) }
+
+// Step credits one generated token to every request at time now,
+// removing and returning the requests that finished.
+func (b *Batch) Step(now sim.Time, rec *metrics.Recorder) []*Running {
+	var finished []*Running
+	keep := b.Reqs[:0]
+	for _, r := range b.Reqs {
+		r.Generated++
+		rec.Token(r.R.ID, now)
+		if r.DecodeDone() {
+			rec.Finish(r.R.ID, now)
+			finished = append(finished, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	b.Reqs = keep
+	return finished
+}

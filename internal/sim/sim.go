@@ -1,0 +1,188 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as int64 nanoseconds and dispatches events
+// in (time, insertion-sequence) order, so two runs with the same inputs
+// produce byte-identical schedules. Everything in this repository —
+// simulated GPUs, serving engines, workload arrivals — is driven by a
+// single Sim instance.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration constants, mirroring time.Duration but in simulation units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns t expressed in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// FromSeconds converts seconds to a simulation Time, rounding up so that
+// an event scheduled at FromSeconds(d) never lands before the real-valued
+// deadline. Saturates at MaxTime.
+func FromSeconds(s float64) Time {
+	if s <= 0 {
+		return 0
+	}
+	ns := math.Ceil(s * 1e9)
+	if ns >= float64(math.MaxInt64) {
+		return MaxTime
+	}
+	return Time(ns)
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at    Time
+	seq   int64
+	index int // heap index, -1 once removed
+	fn    func()
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     int64
+	stopped bool
+	fired   int64
+}
+
+// New returns a fresh simulator positioned at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events dispatched so far.
+func (s *Sim) Fired() int64 { return s.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it always indicates a logic error in the caller.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (s *Sim) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling a fired or already
+// cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.events, e.index)
+	e.index = -1
+}
+
+// Stop makes the current Run invocation return after the in-flight event
+// completes. Pending events stay queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run dispatches events until the queue is empty or Stop is called.
+func (s *Sim) Run() { s.RunUntil(MaxTime) }
+
+// RunUntil dispatches events with time ≤ limit. After it returns, Now is
+// the time of the last dispatched event (or limit, if any events remain
+// beyond it), and the simulator can be resumed by calling RunUntil again.
+func (s *Sim) RunUntil(limit Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > limit {
+			if s.now < limit {
+				s.now = limit
+			}
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.fired++
+		next.fn()
+	}
+	if len(s.events) == 0 && s.now < limit && limit < MaxTime {
+		s.now = limit
+	}
+}

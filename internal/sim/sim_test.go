@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Sim
+	ran := false
+	s.At(5*Millisecond, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if s.Now() != 5*Millisecond {
+		t.Fatalf("Now = %v, want 5ms", s.Now())
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOrderingTieBreakBySequence(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending insertion order", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(1*Second, func() {
+		s.After(500*Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 1*Second+500*Millisecond {
+		t.Fatalf("fired at %v, want 1.5s", at)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(10, func() {
+		s.After(-5, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic when scheduling in the past")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double cancel and nil cancel must be no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		s.Cancel(evs[i])
+	}
+	s.Run()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("got %d events, want 13", len(got))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %v, want clamp to 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (stopped)", count)
+	}
+	s.Run() // resume
+	if count != 5 {
+		t.Fatalf("count = %d after resume, want 5", count)
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 2 || s.Pending() != 0 {
+		t.Fatalf("Fired = %d Pending = %d, want 2, 0", s.Fired(), s.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{5 * Second, "5.000s"},
+		{12 * Millisecond, "12.000ms"},
+		{3 * Microsecond, "3.000µs"},
+		{7, "7ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromSeconds(-1); got != 0 {
+		t.Fatalf("FromSeconds(-1) = %v, want 0", got)
+	}
+	if got := FromSeconds(1e30); got != MaxTime {
+		t.Fatalf("FromSeconds(huge) = %v, want MaxTime", got)
+	}
+}
+
+// Property: for any set of event times, dispatch order is the sorted order.
+func TestPropertyDispatchSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Now never decreases across an entire run with random nested
+// scheduling.
+func TestPropertyMonotonicClock(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := New()
+	last := Time(-1)
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if s.Now() < last {
+			t.Fatalf("clock went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		if depth <= 0 {
+			return
+		}
+		n := rng.IntN(3)
+		for i := 0; i < n; i++ {
+			d := Time(rng.Int64N(int64(Second)))
+			s.After(d, func() { schedule(depth - 1) })
+		}
+	}
+	for i := 0; i < 50; i++ {
+		d := Time(rng.Int64N(int64(Second)))
+		s.After(d, func() { schedule(4) })
+	}
+	s.Run()
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	times := make([]Time, 10000)
+	for i := range times {
+		times[i] = Time(rng.Int64N(int64(Second)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, at := range times {
+			s.At(at, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,54 @@
+package temporal
+
+import (
+	"testing"
+
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+func cfg8B() serve.Config {
+	return serve.Config{
+		Spec: gpu.A100(), GPUs: 1, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
+	}
+}
+
+func TestServesTrace(t *testing.T) {
+	tr := workload.ShareGPT(1, 150).WithPoissonArrivals(1, 2)
+	res := serve.Run(New, cfg8B(), tr)
+	if res.Summary.Finished != 150 {
+		t.Fatalf("finished %d/150", res.Summary.Finished)
+	}
+}
+
+// Temporal slicing keeps decode token gaps within the SLO: layer bursts
+// are sized to the slack after each decode iteration.
+func TestSlackSizedBursts(t *testing.T) {
+	tr := workload.ShareGPT(2, 200).WithPoissonArrivals(2, 2)
+	res := serve.Run(New, cfg8B(), tr)
+	if att := res.Rec.TBTAttainment(50 * sim.Millisecond); att < 0.97 {
+		t.Fatalf("TBT attainment %.3f — bursts not respecting the slack", att)
+	}
+}
+
+// Temporal-only multiplexing cannot use spatial slack: under load, layer
+// bursts squeezed between decode iterations stretch token gaps, so the
+// TBT SLO criterion fails at rates spatial multiplexing sustains (the
+// §6 ≥20% goodput gap). Lightly loaded, attainment is clean.
+func TestSlackExhaustionUnderLoad(t *testing.T) {
+	slo := 50 * sim.Millisecond
+	light := serve.Run(New, cfg8B(), workload.ShareGPT(3, 60).WithPoissonArrivals(3, 0.5))
+	heavy := serve.Run(New, cfg8B(), workload.ShareGPT(3, 500).WithPoissonArrivals(3, 6))
+	la, ha := light.Rec.TBTAttainment(slo), heavy.Rec.TBTAttainment(slo)
+	if la < 0.99 {
+		t.Fatalf("light-load attainment %.3f, want ≥0.99", la)
+	}
+	if ha >= 0.99 {
+		t.Fatalf("heavy-load attainment %.3f, want SLO misses above the temporal goodput", ha)
+	}
+}

@@ -1,0 +1,153 @@
+// Package windserve implements the WindServe-style baseline discussed in
+// §6: prefill and decode multiplex on ordinary CUDA streams with no SM
+// partitioning. Both streams contend for the whole GPU — compute
+// time-slices and memory bandwidth is unmanaged — and neither launch
+// bubbles nor merge stalls are addressed (whole-phase prefill launches
+// block the host). The paper's prototype of this design loses 1.61× on
+// ShareGPT goodput against MuxWise on an A100 with Llama-8B.
+package windserve
+
+import (
+	"muxwise/internal/gpu"
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Engine multiplexes on unpartitioned streams.
+type Engine struct {
+	env *serve.Env
+
+	dev      *gpu.Device
+	decodeS  *gpu.Partition // "stream", full SMs
+	prefillS *gpu.Partition // "stream", full SMs
+	pool     *kvcache.Pool
+
+	decode        serve.Batch
+	decodeRunning bool
+	prefillBusy   bool
+	queue         []*serve.Running
+	merging       []*serve.Running
+	pending       []*workload.Request
+}
+
+// New builds a WindServe-style engine.
+func New(env *serve.Env) serve.Engine {
+	dev := gpu.NewDevice(env.Sim, env.Spec, env.GPUs, "windserve")
+	return &Engine{
+		env:      env,
+		dev:      dev,
+		decodeS:  dev.Partition(env.Spec.SMs, "decode-stream"),
+		prefillS: dev.Partition(env.Spec.SMs, "prefill-stream"),
+		pool:     kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
+	}
+}
+
+// Name implements serve.Engine.
+func (e *Engine) Name() string { return "WindServe" }
+
+// Timeline implements serve.Engine (no partitioning to record).
+func (e *Engine) Timeline() *metrics.Timeline { return &metrics.Timeline{} }
+
+// Devices implements serve.Engine.
+func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
+
+// Submit implements serve.Engine.
+func (e *Engine) Submit(r *workload.Request) {
+	e.pending = append(e.pending, r)
+	e.admit()
+	e.schedule()
+}
+
+func (e *Engine) admit() {
+	for len(e.pending) > 0 {
+		if e.decode.Size()+len(e.queue)+len(e.merging) >= e.env.MaxBatch {
+			return
+		}
+		run := serve.Admit(e.pool, e.pending[0])
+		if run == nil {
+			return
+		}
+		e.pending = e.pending[1:]
+		e.queue = append(e.queue, run)
+	}
+}
+
+func (e *Engine) schedule() {
+	e.startDecode()
+	e.startPrefill()
+}
+
+func (e *Engine) startDecode() {
+	if e.decodeRunning || e.decode.Size() == 0 {
+		return
+	}
+	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.env.GPUs)
+	e.decodeRunning = true
+	e.decodeS.Launch(gpu.Kernel{
+		Label: "decode", Kind: gpu.Decode,
+		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
+		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
+	}, e.onDecodeDone)
+}
+
+func (e *Engine) onDecodeDone() {
+	now := e.env.Sim.Now()
+	e.decodeRunning = false
+	finished := e.decode.Step(now, e.env.Rec)
+	for _, r := range finished {
+		r.Complete(e.pool)
+	}
+	for _, r := range e.merging {
+		e.mergeOne(r)
+	}
+	e.merging = e.merging[:0]
+	e.admit()
+	e.schedule()
+}
+
+func (e *Engine) mergeOne(r *serve.Running) {
+	now := e.env.Sim.Now()
+	e.env.Rec.PrefillDone(r.R.InputTokens - r.CachedTokens)
+	e.env.Rec.Token(r.R.ID, now)
+	r.Generated = 1
+	if r.DecodeDone() {
+		e.env.Rec.Finish(r.R.ID, now)
+		r.Complete(e.pool)
+		return
+	}
+	e.decode.Add(r)
+}
+
+// startPrefill launches the queue head as one whole-phase kernel on the
+// unpartitioned prefill stream.
+func (e *Engine) startPrefill() {
+	if e.prefillBusy || len(e.queue) == 0 {
+		return
+	}
+	run := e.queue[0]
+	e.queue = e.queue[1:]
+	newTok := run.R.InputTokens - run.CachedTokens
+	if newTok < 1 {
+		newTok = 1
+	}
+	phase := e.env.Arch.PrefillPhase([]model.Seq{{New: newTok, Reused: run.CachedTokens}}, e.env.GPUs)
+	e.prefillBusy = true
+	e.prefillS.Launch(gpu.Kernel{
+		Label: "prefill-phase", Kind: gpu.Prefill,
+		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
+		Tokens: phase.Tokens,
+		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
+	}, func() {
+		e.prefillBusy = false
+		if e.decodeRunning {
+			e.merging = append(e.merging, run)
+		} else {
+			e.mergeOne(run)
+		}
+		e.schedule()
+	})
+}

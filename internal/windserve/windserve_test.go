@@ -1,0 +1,47 @@
+package windserve
+
+import (
+	"testing"
+
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+func cfg8B() serve.Config {
+	return serve.Config{
+		Spec: gpu.A100(), GPUs: 1, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
+	}
+}
+
+func TestServesTrace(t *testing.T) {
+	tr := workload.ShareGPT(1, 150).WithPoissonArrivals(1, 2)
+	res := serve.Run(New, cfg8B(), tr)
+	if res.Summary.Finished != 150 {
+		t.Fatalf("finished %d/150", res.Summary.Finished)
+	}
+}
+
+// Unmanaged streams: a decode iteration co-running with a whole-phase
+// prefill kernel starves on SM occupancy, so tail TBT degrades sharply
+// under load — the §6 "uncontrollable contention".
+func TestUnmanagedContentionHurtsTailTBT(t *testing.T) {
+	tr := workload.ShareGPT(2, 400).WithPoissonArrivals(2, 6)
+	res := serve.Run(New, cfg8B(), tr)
+	if res.Summary.TBT.P99 < res.Summary.TBT.P50*3 {
+		t.Fatalf("p99 TBT %.1fms vs p50 %.1fms — expected a heavy contention tail",
+			res.Summary.TBT.P99*1e3, res.Summary.TBT.P50*1e3)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := serve.Run(New, cfg8B(), workload.ShareGPT(3, 80).WithPoissonArrivals(3, 2)).Summary
+	b := serve.Run(New, cfg8B(), workload.ShareGPT(3, 80).WithPoissonArrivals(3, 2)).Summary
+	if a.TBT != b.TBT || a.TTFT != b.TTFT {
+		t.Fatal("windserve runs not deterministic")
+	}
+}

@@ -1,0 +1,83 @@
+// Package workload generates LLM serving traces matching the statistics
+// of the paper's five evaluated workloads (Table 1): ShareGPT, LooGLE and
+// OpenThoughts single-turn datasets and the Conversation and Tool&Agent
+// multi-turn cluster traces, plus the Poisson and bursty arrival processes
+// used in §4.
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Dist is a lognormal distribution censored to [Min, Max], parameterised
+// the way Table 1 reports workloads: by minimum, mean and maximum. Fit
+// solves for the lognormal location so the censored mean matches Mean.
+type Dist struct {
+	Min, Mean, Max float64
+	mu, sigma      float64
+}
+
+// NewDist fits a censored lognormal to the given min/mean/max. It panics
+// on inconsistent parameters (mean outside (min, max) with min < max),
+// which always indicates a typo in a workload definition.
+func NewDist(min, mean, max float64) Dist {
+	if min == max {
+		return Dist{Min: min, Mean: mean, Max: max}
+	}
+	if !(min < mean && mean < max) || min < 0 {
+		panic("workload: need min < mean < max with min ≥ 0")
+	}
+	d := Dist{Min: min, Mean: mean, Max: max}
+	// Spread heuristic: wider ranges get heavier tails, bounded to keep
+	// the censored-mean equation solvable.
+	d.sigma = math.Log(max/math.Max(min, 1)) / 4.5
+	d.sigma = math.Min(2.2, math.Max(0.35, d.sigma))
+	// Bisection on mu: censored mean is strictly increasing in mu.
+	lo, hi := math.Log(math.Max(min, 1e-3))-12, math.Log(max)+12
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if censoredMean(mid, d.sigma, min, max) < mean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	d.mu = (lo + hi) / 2
+	return d
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// censoredMean returns E[clamp(LogNormal(mu, sigma), lo, hi)].
+func censoredMean(mu, sigma, lo, hi float64) float64 {
+	la := math.Log(math.Max(lo, 1e-12))
+	lb := math.Log(hi)
+	alpha := (la - mu) / sigma
+	beta := (lb - mu) / sigma
+	mid := math.Exp(mu+sigma*sigma/2) *
+		(normCDF(beta-sigma) - normCDF(alpha-sigma))
+	return lo*normCDF(alpha) + hi*(1-normCDF(beta)) + mid
+}
+
+// Sample draws one value, clamped to [Min, Max].
+func (d Dist) Sample(rng *rand.Rand) float64 {
+	if d.Min == d.Max {
+		return d.Min
+	}
+	x := math.Exp(d.mu + d.sigma*rng.NormFloat64())
+	return math.Min(d.Max, math.Max(d.Min, x))
+}
+
+// SampleInt draws an integer value, at least 1 when Min ≥ 1.
+func (d Dist) SampleInt(rng *rand.Rand) int {
+	v := int(math.Round(d.Sample(rng)))
+	if v < int(d.Min) {
+		v = int(d.Min)
+	}
+	return v
+}
+
+// Const returns a degenerate distribution.
+func Const(v float64) Dist { return Dist{Min: v, Mean: v, Max: v} }

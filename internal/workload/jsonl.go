@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"muxwise/internal/kvcache"
+	"muxwise/internal/sim"
+)
+
+// jsonlRecord is the on-disk form of one request. KV page identities are
+// not stored: Load rebuilds them from session identity and token
+// positions, which preserves intra-session prefix reuse exactly.
+// Cross-session sharing (e.g. OpenThoughts' common system prompt) is not
+// representable in this format; a loaded trace treats such prefixes as
+// per-session content.
+type jsonlRecord struct {
+	ID      int     `json:"id"`
+	Session int     `json:"session"`
+	Turn    int     `json:"turn"`
+	Arrival float64 `json:"arrival_s"`
+	Input   int     `json:"input_tokens"`
+	Reused  int     `json:"reused_tokens"`
+	Output  int     `json:"output_tokens"`
+	Dataset string  `json:"dataset,omitempty"`
+}
+
+// WriteJSONL serializes the trace as one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Requests {
+		rec := jsonlRecord{
+			ID: r.ID, Session: r.Session, Turn: r.Turn,
+			Arrival: r.Arrival.Seconds(),
+			Input:   r.InputTokens, Reused: r.ReusedTokens, Output: r.OutputTokens,
+			Dataset: r.Dataset,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL (or any compatible
+// JSONL), reconstructing KV page sequences from session identity so that
+// multi-turn prefix reuse replays faithfully.
+func ReadJSONL(r io.Reader, name string) (*Trace, error) {
+	tr := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if rec.Input < 1 || rec.Output < 1 {
+			return nil, fmt.Errorf("workload: line %d: input and output tokens must be ≥1", line)
+		}
+		if rec.Reused < 0 || rec.Reused >= rec.Input {
+			return nil, fmt.Errorf("workload: line %d: reused tokens %d outside [0,%d)", line, rec.Reused, rec.Input)
+		}
+		stream := 0xFEED<<40 | uint64(rec.Session)
+		tr.Requests = append(tr.Requests, &Request{
+			ID: rec.ID, Session: rec.Session, Turn: rec.Turn,
+			Arrival:      sim.FromSeconds(rec.Arrival),
+			InputTokens:  rec.Input,
+			ReusedTokens: rec.Reused,
+			OutputTokens: rec.Output,
+			Pages:        streamPages(stream, 0, kvcache.PageCount(rec.Input, PageTokens)),
+			AllPages:     streamPages(stream, 0, kvcache.PageCount(rec.Input+rec.Output, PageTokens)),
+			Dataset:      rec.Dataset,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tr.Requests, func(i, j int) bool {
+		return tr.Requests[i].Arrival < tr.Requests[j].Arrival
+	})
+	return tr, nil
+}

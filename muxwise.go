@@ -1,0 +1,192 @@
+// Package muxwise is a discrete-event reproduction of "Towards
+// High-Goodput LLM Serving with Prefill-decode Multiplexing" (ASPLOS
+// 2026). It provides the MuxWise serving engine — intra-GPU
+// prefill-decode multiplexing on SM partitions — together with the five
+// baseline systems the paper compares against, the workload generators of
+// its evaluation, and a benchmark harness that regenerates every table
+// and figure.
+//
+// # Quick start
+//
+//	trace := muxwise.ShareGPT(1, 500).WithPoissonArrivals(1, 5)
+//	dep := muxwise.Deployment{
+//		Hardware: "A100", GPUs: 8, Model: "Llama-8B",
+//		SLO: muxwise.SLO{TTFT: 500 * muxwise.Millisecond, TBT: 50 * muxwise.Millisecond},
+//	}
+//	res, err := muxwise.Serve("MuxWise", dep, trace)
+//	fmt.Println(res.Summary.TTFT, res.Summary.TBT)
+//
+// Engines are selected by name: "MuxWise", "Chunked", "NanoFlow",
+// "LoongServe", "SGLang-PD", "WindServe", "Temporal". Everything runs on
+// a deterministic simulator — no GPU required.
+package muxwise
+
+import (
+	"fmt"
+	"time"
+
+	"muxwise/internal/experiments"
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Time is simulated time in nanoseconds (layout-compatible with
+// time.Duration).
+type Time = sim.Time
+
+// Re-exported time units for SLO construction.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// FromDuration converts a wall-clock duration to simulated time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Core types re-exported from the internal packages.
+type (
+	// SLO holds the TTFT and TBT latency targets.
+	SLO = metrics.SLO
+	// Summary aggregates a run's latency statistics.
+	Summary = metrics.Summary
+	// Quantiles is a latency distribution summary.
+	Quantiles = metrics.Quantiles
+	// Trace is a generated request trace.
+	Trace = workload.Trace
+	// Request is a single trace entry.
+	Request = workload.Request
+	// Result couples a run's summary with engine accounting.
+	Result = serve.Result
+	// RatePoint is one sample of a load sweep.
+	RatePoint = serve.RatePoint
+	// Arch describes an LLM architecture.
+	Arch = model.Arch
+	// GPUSpec describes GPU hardware.
+	GPUSpec = gpu.Spec
+)
+
+// Workload generators (Table 1 statistics).
+var (
+	// ShareGPT generates chatbot requests.
+	ShareGPT = workload.ShareGPT
+	// LooGLE generates long-context understanding requests.
+	LooGLE = workload.LooGLE
+	// OpenThoughts generates reasoning requests with a shared prompt.
+	OpenThoughts = workload.OpenThoughts
+	// Conversation generates multi-turn chatbot sessions.
+	Conversation = workload.Conversation
+	// ToolAgent generates multi-turn tool/agent sessions.
+	ToolAgent = workload.ToolAgent
+	// MixTraces interleaves traces by arrival time.
+	MixTraces = workload.Mix
+	// ConversationProfile is the bursty Fig. 13 Conversation rate shape.
+	ConversationProfile = workload.ConversationProfile
+	// ToolAgentProfile is the bursty Fig. 13 Tool&Agent rate shape.
+	ToolAgentProfile = workload.ToolAgentProfile
+	// ReadTraceJSONL loads a trace written by Trace.WriteJSONL.
+	ReadTraceJSONL = workload.ReadJSONL
+)
+
+// Deployment describes the simulated serving hardware and model.
+type Deployment struct {
+	// Hardware names a GPU spec: "A100", "H100", or "H200".
+	Hardware string
+	// GPUs is the number of devices (tensor-parallel width for
+	// aggregated engines).
+	GPUs int
+	// Model names an architecture: "Llama-8B", "Llama-70B",
+	// "Qwen3-235B-A22B", or "CodeLlama-34B".
+	Model string
+	// SLO sets the latency targets; zero values use per-model defaults
+	// (50 ms TBT for small models, 100 ms for large, per §4.1).
+	SLO SLO
+}
+
+// config resolves the deployment into a serve.Config.
+func (d Deployment) config() (serve.Config, error) {
+	spec, ok := gpu.SpecByName(d.Hardware)
+	if !ok {
+		return serve.Config{}, fmt.Errorf("muxwise: unknown hardware %q", d.Hardware)
+	}
+	arch, ok := model.ByName(d.Model)
+	if !ok {
+		return serve.Config{}, fmt.Errorf("muxwise: unknown model %q", d.Model)
+	}
+	gpus := d.GPUs
+	if gpus <= 0 {
+		gpus = 8
+	}
+	slo := d.SLO
+	if slo.TBT == 0 {
+		slo.TBT = 100 * sim.Millisecond
+		if arch.Params() < 30e9 {
+			slo.TBT = 50 * sim.Millisecond
+		}
+	}
+	if slo.TTFT == 0 {
+		slo.TTFT = sim.Second
+	}
+	return serve.Config{Spec: spec, GPUs: gpus, Arch: arch, SLO: slo}, nil
+}
+
+// Engines lists the available engine names.
+func Engines() []string {
+	return []string{"MuxWise", "Chunked", "NanoFlow", "LoongServe", "SGLang-PD", "WindServe", "Temporal"}
+}
+
+// factory resolves an engine name.
+func factory(engine string) (serve.Factory, error) {
+	f, ok := experiments.Baselines()[engine]
+	if !ok {
+		return nil, fmt.Errorf("muxwise: unknown engine %q (have %v)", engine, Engines())
+	}
+	return f, nil
+}
+
+// Serve replays the trace against the named engine on the deployment and
+// returns the run result. Runs are deterministic for a given input.
+func Serve(engine string, dep Deployment, trace *Trace) (Result, error) {
+	f, err := factory(engine)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := dep.config()
+	if err != nil {
+		return Result{}, err
+	}
+	return serve.Run(f, cfg, trace), nil
+}
+
+// Goodput finds the highest request rate (req/s, within [lo, hi]) at
+// which the engine sustains ≥99% TBT SLO attainment on traces built by
+// mkTrace — the paper's headline metric.
+func Goodput(engine string, dep Deployment, mkTrace func(rate float64) *Trace, lo, hi float64) (float64, error) {
+	f, err := factory(engine)
+	if err != nil {
+		return 0, err
+	}
+	cfg, err := dep.config()
+	if err != nil {
+		return 0, err
+	}
+	return serve.Goodput(f, cfg, mkTrace, lo, hi), nil
+}
+
+// Sweep probes each offered rate in order, stopping shortly after the
+// engine first misses the SLO criterion.
+func Sweep(engine string, dep Deployment, mkTrace func(rate float64) *Trace, rates []float64) ([]RatePoint, error) {
+	f, err := factory(engine)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := dep.config()
+	if err != nil {
+		return nil, err
+	}
+	return serve.Sweep(f, cfg, mkTrace, rates), nil
+}

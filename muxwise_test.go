@@ -1,0 +1,84 @@
+package muxwise_test
+
+import (
+	"testing"
+
+	"muxwise"
+)
+
+func dep8B() muxwise.Deployment {
+	return muxwise.Deployment{Hardware: "A100", GPUs: 8, Model: "Llama-8B"}
+}
+
+func TestServeQuickstart(t *testing.T) {
+	trace := muxwise.ShareGPT(1, 200).WithPoissonArrivals(1, 5)
+	res, err := muxwise.Serve("MuxWise", dep8B(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Finished != 200 {
+		t.Fatalf("finished %d/200", res.Summary.Finished)
+	}
+	if res.Summary.TTFT.P99 <= 0 {
+		t.Fatal("no TTFT recorded")
+	}
+}
+
+func TestServeAllEngines(t *testing.T) {
+	trace := muxwise.ShareGPT(2, 60).WithPoissonArrivals(2, 2)
+	for _, name := range muxwise.Engines() {
+		res, err := muxwise.Serve(name, dep8B(), trace)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Summary.Finished == 0 {
+			t.Errorf("%s finished nothing", name)
+		}
+	}
+}
+
+func TestServeUnknowns(t *testing.T) {
+	trace := muxwise.ShareGPT(3, 5).WithPoissonArrivals(3, 1)
+	if _, err := muxwise.Serve("vLLM", dep8B(), trace); err == nil {
+		t.Error("unknown engine should error")
+	}
+	if _, err := muxwise.Serve("MuxWise", muxwise.Deployment{Hardware: "TPUv5", Model: "Llama-8B"}, trace); err == nil {
+		t.Error("unknown hardware should error")
+	}
+	if _, err := muxwise.Serve("MuxWise", muxwise.Deployment{Hardware: "A100", Model: "GPT-5"}, trace); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestDefaultSLOs(t *testing.T) {
+	// Zero SLO fields resolve to the paper's per-model defaults; the run
+	// should proceed without error.
+	trace := muxwise.Conversation(4, 20).WithPoissonArrivals(4, 1)
+	res, err := muxwise.Serve("MuxWise", muxwise.Deployment{Hardware: "A100", Model: "Llama-70B"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+}
+
+func TestGoodputAPI(t *testing.T) {
+	mk := func(rate float64) *muxwise.Trace {
+		return muxwise.ShareGPT(5, 120).WithPoissonArrivals(5, rate)
+	}
+	g, err := muxwise.Goodput("MuxWise", dep8B(), mk, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.5 {
+		t.Fatalf("goodput %v below the probe floor", g)
+	}
+	pts, err := muxwise.Sweep("Chunked", dep8B(), mk, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+}
