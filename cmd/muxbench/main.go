@@ -7,9 +7,11 @@
 //	muxbench -run fig14            # one experiment
 //	muxbench -run all              # everything (minutes)
 //	muxbench -run fig15 -quick     # reduced scale
+//	muxbench -run fig15 -json      # machine-readable tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +20,21 @@ import (
 	"muxwise/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable output: the reproduced
+// tables (rate points, summaries) plus timing, for the
+// benchmark-trajectory tooling.
+type jsonResult struct {
+	ID      string
+	Paper   string
+	Seconds float64
+	Tables  []experiments.Table
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale (CI-sized traces and sweeps)")
+	asJSON := flag.Bool("json", false, "write results as JSON instead of tables")
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -48,12 +61,29 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
+	var results []jsonResult
 	for _, e := range todo {
 		start := time.Now()
-		fmt.Printf("### %s — %s\n\n", e.ID, e.Paper)
-		for _, t := range e.Run(opts) {
+		if !*asJSON {
+			fmt.Printf("### %s — %s\n\n", e.ID, e.Paper)
+		}
+		tables := e.Run(opts)
+		elapsed := time.Since(start).Seconds()
+		if *asJSON {
+			results = append(results, jsonResult{ID: e.ID, Paper: e.Paper, Seconds: elapsed, Tables: tables})
+			continue
+		}
+		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, elapsed)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

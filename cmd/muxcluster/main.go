@@ -1,0 +1,203 @@
+// Command muxcluster simulates a replica fleet behind a request router
+// and prints fleet-wide plus per-replica metrics.
+//
+//	muxcluster -replicas 4xMuxWise -router prefix-affinity -workload mixed -scale 0.2
+//	muxcluster -replicas 6xMuxWise,2xSGLang-PD:prefill@2 -router all -json
+//
+// The -replicas grammar is COUNTxENGINE[:ROLE][@GPUS], comma-separated:
+// "2xSGLang-PD:prefill@2" runs two SGLang-PD replicas tagged as
+// prefill-heavy with 2 GPUs each. -router all compares every policy on
+// the same trace.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"muxwise"
+)
+
+func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
+	var out []muxwise.ReplicaSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rs := muxwise.ReplicaSpec{Count: 1}
+		if at := strings.SplitN(part, "@", 2); len(at) == 2 {
+			g, err := strconv.Atoi(at[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad gpu count in %q", part)
+			}
+			rs.GPUs = g
+			part = at[0]
+		}
+		if colon := strings.SplitN(part, ":", 2); len(colon) == 2 {
+			rs.Role = colon[1]
+			part = colon[0]
+		}
+		if x := strings.SplitN(part, "x", 2); len(x) == 2 {
+			if n, err := strconv.Atoi(x[0]); err == nil {
+				if n < 1 {
+					return nil, fmt.Errorf("replica count must be ≥ 1 in %q", part)
+				}
+				rs.Count = n
+				part = x[1]
+			}
+		}
+		rs.Engine = part
+		out = append(out, rs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no replicas in %q", spec)
+	}
+	return out, nil
+}
+
+func buildTrace(wl string, seed uint64, n int, scale, rate float64) (*muxwise.Trace, error) {
+	switch strings.ToLower(wl) {
+	case "mixed":
+		conv := muxwise.Conversation(seed, n).
+			WithProfileArrivals(seed, muxwise.ConversationProfile(scale))
+		tool := muxwise.ToolAgent(seed+1, n).
+			WithProfileArrivals(seed+1, muxwise.ToolAgentProfile(scale))
+		return muxwise.MixTraces("Conversation+Tool&Agent", conv, tool), nil
+	case "conversation":
+		return muxwise.Conversation(seed, n).
+			WithProfileArrivals(seed, muxwise.ConversationProfile(scale)), nil
+	case "toolagent":
+		return muxwise.ToolAgent(seed, n).
+			WithProfileArrivals(seed, muxwise.ToolAgentProfile(scale)), nil
+	case "sharegpt":
+		return muxwise.ShareGPT(seed, n).WithPoissonArrivals(seed, rate), nil
+	case "loogle":
+		return muxwise.LooGLE(seed, n).WithPoissonArrivals(seed, rate), nil
+	case "openthoughts":
+		return muxwise.OpenThoughts(seed, n).WithPoissonArrivals(seed, rate), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", wl)
+}
+
+// routerRow is the JSON record for one router's fleet run.
+type routerRow struct {
+	Router     string
+	Requests   int
+	Finished   int
+	P99TTFT    float64 // seconds
+	P99TBT     float64 // seconds
+	Attainment float64
+	CacheHit   float64
+	MeanUtil   float64
+	Unstable   bool
+	Replicas   []replicaRow
+}
+
+type replicaRow struct {
+	Name     string
+	Role     string
+	Requests int
+	CacheHit float64
+}
+
+func main() {
+	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS],...")
+	router := flag.String("router", "prefix-affinity",
+		"router policy ("+strings.Join(muxwise.RouterPolicies(), ", ")+") or 'all'")
+	mdl := flag.String("model", "Llama-8B", "model name")
+	hw := flag.String("hw", "A100", "hardware: A100, H100, H200")
+	gpus := flag.Int("gpus", 1, "GPUs per replica (overridable per shape with @N)")
+	wl := flag.String("workload", "mixed", "workload: mixed, conversation, toolagent, sharegpt, loogle, openthoughts")
+	n := flag.Int("n", 120, "sessions (multi-turn) or requests (single-turn) per trace")
+	scale := flag.Float64("scale", 0.2, "Fig. 13 profile scale (profile workloads)")
+	rate := flag.Float64("rate", 2, "Poisson rate, req/s (single-turn workloads)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	ttft := flag.Duration("ttft", time.Second, "TTFT SLO")
+	tbt := flag.Duration("tbt", 50*time.Millisecond, "TBT SLO")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	specs, err := parseReplicas(*replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	trace, err := buildTrace(*wl, *seed, *n, *scale, *rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	routers := []string{*router}
+	if *router == "all" {
+		routers = muxwise.RouterPolicies()
+	}
+
+	slo := muxwise.SLO{TTFT: muxwise.FromDuration(*ttft), TBT: muxwise.FromDuration(*tbt)}
+	var rows []routerRow
+	for _, name := range routers {
+		dep := muxwise.ClusterDeployment{
+			Deployment: muxwise.Deployment{Hardware: *hw, GPUs: *gpus, Model: *mdl, SLO: slo},
+			Replicas:   specs,
+			Router:     name,
+		}
+		res, err := muxwise.ServeCluster(dep, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		row := routerRow{
+			Router:     name,
+			Requests:   res.Summary.Requests,
+			Finished:   res.Summary.Finished,
+			P99TTFT:    res.Summary.TTFT.P99,
+			P99TBT:     res.Summary.TBT.P99,
+			Attainment: res.Rec.TBTAttainment(slo.TBT),
+			CacheHit:   res.CacheHit,
+			MeanUtil:   res.MeanUtil(),
+			Unstable:   res.Summary.Unstable,
+		}
+		for _, rep := range res.Replicas {
+			row.Replicas = append(row.Replicas, replicaRow{
+				Name: rep.Name, Role: rep.Role.String(),
+				Requests: rep.Requests, CacheHit: rep.CacheHit,
+			})
+		}
+		rows = append(rows, row)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("fleet %s on %s (%s, %d reqs)\n\n", *replicas, *wl, *mdl, trace.Len())
+	fmt.Printf("%-16s %9s %9s %8s %8s %7s %6s\n",
+		"router", "p99TTFT", "p99TBT", "attain%", "cache%", "util%", "state")
+	for _, r := range rows {
+		state := "stable"
+		if r.Unstable {
+			state = "UNSTABLE"
+		}
+		fmt.Printf("%-16s %8.2fs %7.1fms %8.1f %8.1f %7.1f %6s\n",
+			r.Router, r.P99TTFT, r.P99TBT*1e3,
+			r.Attainment*100, r.CacheHit*100, r.MeanUtil*100, state)
+	}
+	if len(rows) == 1 {
+		fmt.Printf("\nper-replica (router %s):\n", rows[0].Router)
+		for _, rep := range rows[0].Replicas {
+			fmt.Printf("  %-16s %-8s %5d reqs  cache %5.1f%%\n",
+				rep.Name, rep.Role, rep.Requests, rep.CacheHit*100)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module muxwise
+
+go 1.24

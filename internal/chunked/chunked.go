@@ -91,6 +91,9 @@ func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
 // Pool exposes the KV pool.
 func (e *Engine) Pool() *kvcache.Pool { return e.pool }
 
+// CachePools implements serve.PoolReporter.
+func (e *Engine) CachePools() []*kvcache.Pool { return []*kvcache.Pool{e.pool} }
+
 // Partition exposes the single fused compute stream (bubble accounting).
 func (e *Engine) Partition() *gpu.Partition { return e.part }
 

@@ -1,0 +1,366 @@
+// Package cluster simulates a fleet of serving-engine replicas behind a
+// pluggable request router, inside one deterministic event loop.
+//
+// The paper's MuxWise engine multiplexes prefill and decode within a
+// single GPU group; a production deployment runs many such groups behind
+// an endpoint picker that decides, per request, which replica should
+// take it. That instance-assignment decision — prompt length, prefix
+// cache-hit probability, per-pod load, aggregated vs disaggregated path
+// (llm-d's EPP lifecycle) — is what this package models: N replicas,
+// homogeneous or mixed (e.g. 6× MuxWise + 2× SGLang-PD), each a full
+// serve.Instance embedded in a shared sim, with the Router consulted at
+// every arrival.
+//
+// Fleet-wide metrics reuse the single-instance machinery: per-replica
+// recorders are merged (metrics.Merge) into one Summary, and
+// Probe/Sweep/Goodput apply the same §4 goodput criterion (stable, ≥99%
+// of TBT samples within SLO) to the merged view.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Role marks what a replica is specialised for. The pd-split router
+// steers long-prefill requests to RolePrefill replicas; the other
+// policies ignore roles.
+type Role int
+
+const (
+	// RoleGeneral replicas take any request.
+	RoleGeneral Role = iota
+	// RolePrefill replicas are provisioned for prefill-heavy traffic
+	// (e.g. disaggregated engines with a dedicated prefill instance).
+	RolePrefill
+	// RoleDecode replicas are provisioned for decode-heavy traffic.
+	RoleDecode
+)
+
+// String renders the role.
+func (r Role) String() string {
+	switch r {
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return "general"
+	}
+}
+
+// ParseRole parses a role name; the empty string is RoleGeneral.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "", "general":
+		return RoleGeneral, nil
+	case "prefill":
+		return RolePrefill, nil
+	case "decode":
+		return RoleDecode, nil
+	}
+	return RoleGeneral, fmt.Errorf("cluster: unknown role %q", s)
+}
+
+// ReplicaSpec describes one shape of replica in the fleet.
+type ReplicaSpec struct {
+	// Engine is the display name ("MuxWise", "SGLang-PD", ...).
+	Engine string
+	// Factory builds the engine.
+	Factory serve.Factory
+	// Count is how many replicas of this shape to run (default 1).
+	Count int
+	// GPUs overrides the per-replica device count (default Base.GPUs).
+	GPUs int
+	// Role tags the replica for role-aware routers.
+	Role Role
+}
+
+// Config describes a cluster deployment.
+type Config struct {
+	// Base carries the per-replica hardware, model, SLO and runner
+	// knobs; ReplicaSpec.GPUs overrides Base.GPUs per shape.
+	Base serve.Config
+	// Replicas lists the fleet shapes in deployment order.
+	Replicas []ReplicaSpec
+	// Policy constructs the router; each run gets a fresh one (routers
+	// keep state such as session maps and round-robin cursors).
+	Policy Policy
+}
+
+// Replica is one engine instance plus the load bookkeeping routers
+// score on.
+type Replica struct {
+	ID   int
+	Name string
+	Role Role
+	Spec ReplicaSpec
+	Inst *serve.Instance
+
+	inFlight  int
+	outTokens int64
+	assigned  int
+	reqTokens map[int]int64
+}
+
+// InFlight returns how many routed requests have not finished.
+func (r *Replica) InFlight() int { return r.inFlight }
+
+// OutstandingTokens returns the input+output tokens of in-flight
+// requests — the least-outstanding-tokens load signal.
+func (r *Replica) OutstandingTokens() int64 { return r.outTokens }
+
+// Assigned returns how many requests the router sent here in total.
+func (r *Replica) Assigned() int { return r.assigned }
+
+// submit routes a request into the replica at its arrival time.
+func (r *Replica) submit(req *workload.Request) {
+	t := int64(req.InputTokens + req.OutputTokens)
+	r.assigned++
+	r.inFlight++
+	r.outTokens += t
+	r.reqTokens[req.ID] = t
+	r.Inst.Submit(req)
+}
+
+// finish is the completion callback wired into the instance recorder.
+func (r *Replica) finish(id int) {
+	t, ok := r.reqTokens[id]
+	if !ok {
+		return
+	}
+	delete(r.reqTokens, id)
+	r.inFlight--
+	r.outTokens -= t
+}
+
+// Cluster is a replica fleet sharing one simulator.
+type Cluster struct {
+	Sim      *sim.Sim
+	Replicas []*Replica
+	Router   Router
+}
+
+// validate checks the config without constructing any engine.
+func validate(cfg Config) error {
+	if len(cfg.Replicas) == 0 {
+		return fmt.Errorf("cluster: no replicas configured")
+	}
+	if cfg.Policy == nil {
+		return fmt.Errorf("cluster: no router policy configured")
+	}
+	for _, spec := range cfg.Replicas {
+		if spec.Factory == nil {
+			return fmt.Errorf("cluster: replica spec %q has no factory", spec.Engine)
+		}
+	}
+	return nil
+}
+
+// New expands the config into a fleet inside the shared simulator s.
+func New(s *sim.Sim, cfg Config) (*Cluster, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Sim: s, Router: cfg.Policy()}
+	for _, spec := range cfg.Replicas {
+		count := spec.Count
+		if count <= 0 {
+			count = 1
+		}
+		base := cfg.Base
+		if spec.GPUs > 0 {
+			base.GPUs = spec.GPUs
+		}
+		for i := 0; i < count; i++ {
+			rep := &Replica{
+				ID:        len(c.Replicas),
+				Name:      fmt.Sprintf("%s-%d", spec.Engine, i),
+				Role:      spec.Role,
+				Spec:      spec,
+				reqTokens: map[int]int64{},
+			}
+			rep.Inst = serve.NewInstance(s, spec.Factory, base, rep.Name)
+			rep.Inst.OnFinish(func(id int, at sim.Time) { rep.finish(id) })
+			c.Replicas = append(c.Replicas, rep)
+		}
+	}
+	return c, nil
+}
+
+// Submit routes one request to the replica the router picks. It must be
+// called from inside the simulation at the request's arrival time.
+func (c *Cluster) Submit(r *workload.Request) *Replica {
+	rep := c.Router.Pick(r, c.Replicas)
+	if rep == nil {
+		rep = c.Replicas[0]
+	}
+	rep.submit(r)
+	return rep
+}
+
+// Unfinished sums arrived-but-incomplete requests across the fleet.
+func (c *Cluster) Unfinished() int {
+	n := 0
+	for _, rep := range c.Replicas {
+		n += rep.Inst.Rec.Unfinished()
+	}
+	return n
+}
+
+// ReplicaResult is the per-replica rollup of a cluster run.
+type ReplicaResult struct {
+	Name     string
+	Engine   string
+	Role     Role
+	Requests int // requests routed to this replica
+	CacheHit float64
+	Result   serve.Result
+}
+
+// Result aggregates a cluster run: the fleet-wide summary over merged
+// per-replica recorders, plus the per-replica rollups.
+type Result struct {
+	Router   string
+	Summary  metrics.Summary
+	Rec      *metrics.Recorder // merged fleet view (read-only)
+	Replicas []ReplicaResult
+	CacheHit float64 // fleet token-weighted prefix-cache hit rate
+}
+
+// MeanUtil averages blended GPU utilization across all replica devices.
+func (r Result) MeanUtil() float64 {
+	var sum float64
+	n := 0
+	for _, rep := range r.Replicas {
+		for _, d := range rep.Result.Devices {
+			sum += d.Util
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Run replays the trace against a fresh fleet built from cfg. The run is
+// fully deterministic: arrivals, routing decisions and every replica's
+// engine all execute in one event loop keyed by (time, seq).
+func Run(cfg Config, trace *workload.Trace) (Result, error) {
+	cfg.Base = cfg.Base.WithDefaults()
+	s := sim.New()
+	c, err := New(s, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var lastArrival sim.Time
+	for _, r := range trace.Requests {
+		r := r
+		s.At(r.Arrival, func() { c.Submit(r) })
+		if r.Arrival > lastArrival {
+			lastArrival = r.Arrival
+		}
+	}
+	// Fleet-level stability probe, mirroring serve.Run.
+	backlog := 0
+	s.At(lastArrival+30*sim.Second, func() { backlog = c.Unfinished() })
+	s.RunUntil(lastArrival + cfg.Base.Horizon)
+
+	res := Result{Router: c.Router.Name()}
+	recs := make([]*metrics.Recorder, 0, len(c.Replicas))
+	var cacheAgg kvcache.Stats
+	for _, rep := range c.Replicas {
+		rr := rep.Inst.Result(s.Now())
+		cs := rep.Inst.CacheStats()
+		cacheAgg.Lookups += cs.Lookups
+		cacheAgg.HitTokens += cs.HitTokens
+		cacheAgg.MissTokens += cs.MissTokens
+		res.Replicas = append(res.Replicas, ReplicaResult{
+			Name:     rep.Name,
+			Engine:   rep.Spec.Engine,
+			Role:     rep.Role,
+			Requests: rep.Assigned(),
+			CacheHit: rr.CacheHit,
+			Result:   rr,
+		})
+		recs = append(recs, rep.Inst.Rec)
+	}
+	res.Rec = metrics.Merge(recs...)
+	res.Summary = res.Rec.Summarize("cluster/"+c.Router.Name(), s.Now())
+	serve.ApplyBacklog(&res.Summary, backlog)
+	res.CacheHit = cacheAgg.HitRate()
+	return res, nil
+}
+
+// Probe runs one point of a fleet load sweep.
+func Probe(cfg Config, mkTrace func(rate float64) *workload.Trace, rate float64) (serve.RatePoint, error) {
+	res, err := Run(cfg, mkTrace(rate))
+	if err != nil {
+		return serve.RatePoint{}, err
+	}
+	return serve.RatePoint{
+		Rate:       rate,
+		Attainment: res.Rec.TBTAttainment(cfg.Base.SLO.TBT),
+		P99TTFT:    res.Summary.TTFT.P99,
+		P99TBT:     res.Summary.TBT.P99,
+		Unstable:   res.Summary.Unstable,
+		TokensPerS: res.Summary.TokensPerSecond,
+		Util:       res.MeanUtil(),
+	}, nil
+}
+
+// probeFn adapts Probe to the serve sweep machinery, capturing the
+// first error (probes may run concurrently) instead of letting a failed
+// run masquerade as a zero-attainment point.
+func probeFn(cfg Config, mkTrace func(rate float64) *workload.Trace) (func(rate float64) serve.RatePoint, func() error) {
+	var mu sync.Mutex
+	var firstErr error
+	probe := func(rate float64) serve.RatePoint {
+		p, err := Probe(cfg, mkTrace, rate)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		return p
+	}
+	return probe, func() error { return firstErr }
+}
+
+// Sweep probes each offered rate with the §4 early-stop semantics,
+// reusing the serve sweep machinery over the fleet-wide criterion.
+func Sweep(cfg Config, mkTrace func(rate float64) *workload.Trace, rates []float64) ([]serve.RatePoint, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	probe, errOf := probeFn(cfg, mkTrace)
+	pts := serve.SweepBy(probe, rates)
+	if err := errOf(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// Goodput finds the highest request rate within [lo, hi] at which the
+// fleet sustains the §4 goodput criterion on the merged metrics.
+func Goodput(cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) (float64, error) {
+	if err := validate(cfg); err != nil {
+		return 0, err
+	}
+	probe, errOf := probeFn(cfg, mkTrace)
+	g := serve.GoodputBy(probe, lo, hi)
+	if err := errOf(); err != nil {
+		return 0, err
+	}
+	return g, nil
+}

@@ -127,7 +127,9 @@ func NewWithOptions(env *serve.Env, opts Options) *Engine {
 		opts: opts,
 		dev:  dev,
 		pool: kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
-		est:  estimator.New(env.Spec, env.GPUs, env.Arch),
+		// Fork: this engine refines the contention guard online, and
+		// concurrent sweep probes must not share mutable guard state.
+		est: estimator.New(env.Spec, env.GPUs, env.Arch).Fork(),
 	}
 	e.configs = env.Spec.PartitionSizes()
 	e.curConfig = env.Spec.SMs
@@ -159,6 +161,9 @@ func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
 
 // Pool exposes the shared KV pool (tests, cache statistics).
 func (e *Engine) Pool() *kvcache.Pool { return e.pool }
+
+// CachePools implements serve.PoolReporter.
+func (e *Engine) CachePools() []*kvcache.Pool { return []*kvcache.Pool{e.pool} }
 
 // DecodePartition exposes the decode green context for bubble accounting.
 func (e *Engine) DecodePartition() *gpu.Partition { return e.decodeP }

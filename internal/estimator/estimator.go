@@ -50,25 +50,51 @@ func (p planes) predict(features []float64) float64 {
 
 // profileCache memoises offline profiling per (spec, tp, arch): repeated
 // engine construction in goodput sweeps must not re-pay it, matching the
-// paper's "one-time effort per LLM–machine pair".
-var profileCache sync.Map // key string → *Estimator
+// paper's "one-time effort per LLM–machine pair". Entries hold a
+// sync.Once so concurrent first users (parallel sweep probes) profile
+// exactly once instead of racing through the grid side by side.
+var profileCache sync.Map // key string → *cacheEntry
+
+type cacheEntry struct {
+	once sync.Once
+	est  *Estimator
+}
 
 // New returns the estimator for the given deployment, running the
-// offline profiling on first use.
+// offline profiling on first use. The returned estimator is shared and
+// must be treated as read-only; engines that refine the contention
+// guard online must work on a Fork.
 func New(spec gpu.Spec, tp int, arch model.Arch) *Estimator {
 	key := fmt.Sprintf("%s/%d/%s", spec.Name, tp, arch.Name)
-	if v, ok := profileCache.Load(key); ok {
-		return v.(*Estimator)
+	v, _ := profileCache.LoadOrStore(key, &cacheEntry{})
+	ce := v.(*cacheEntry)
+	ce.once.Do(func() {
+		e := &Estimator{
+			Spec: spec, TP: tp, Arch: arch,
+			decodeTheta:  map[int]planes{},
+			prefillTheta: map[int]planes{},
+		}
+		e.profileSolo()
+		e.guard = profileGuard(spec, tp, arch, e)
+		ce.est = e
+	})
+	if ce.est == nil {
+		// A prior profiling attempt panicked past a recover; fail here,
+		// at the source, instead of handing out a nil estimator.
+		panic("estimator: offline profiling previously failed for " + key)
 	}
-	e := &Estimator{
-		Spec: spec, TP: tp, Arch: arch,
-		decodeTheta:  map[int]planes{},
-		prefillTheta: map[int]planes{},
-	}
-	e.profileSolo()
-	e.guard = profileGuard(spec, tp, arch, e)
-	v, _ := profileCache.LoadOrStore(key, e)
-	return v.(*Estimator)
+	return ce.est
+}
+
+// Fork returns a per-run view of the estimator: the fitted latency
+// models are shared read-only, but the contention guard is cloned so
+// one run's online refinement never leaks into another. Concurrent
+// sweep probes would otherwise race on the shared guard map and make
+// results depend on goroutine interleaving.
+func (e *Estimator) Fork() *Estimator {
+	cp := *e
+	cp.guard = e.guard.clone()
+	return &cp
 }
 
 // Configs returns the candidate decode partition sizes plus the full

@@ -167,6 +167,16 @@ func (g *Guard) Observe(prefillNew, prefillReused, bs, totalCtx, decSM int, slow
 	}
 }
 
+// clone returns an independent copy of the guard for per-run online
+// refinement.
+func (g *Guard) clone() *Guard {
+	f := make(map[guardKey]float64, len(g.factors))
+	for k, v := range g.factors {
+		f[k] = v
+	}
+	return &Guard{factors: f, configs: g.configs, floor: g.floor}
+}
+
 // snap maps an SM count to the nearest profiled configuration.
 func (g *Guard) snap(sms int) int {
 	best, bestDiff := 0, math.MaxInt

@@ -9,6 +9,7 @@ import (
 	"muxwise/internal/gpu"
 	"muxwise/internal/metrics"
 	"muxwise/internal/model"
+	"muxwise/internal/par"
 	"muxwise/internal/serve"
 	"muxwise/internal/sim"
 	"muxwise/internal/temporal"
@@ -115,8 +116,11 @@ func Sec431(o Opts) []Table {
 		Title:   "single A100, Llama-8B, ShareGPT goodput",
 		Columns: []string{"system", "goodput(req/s)"},
 	}
-	gm := serve.Goodput(core.New, cfg, mk, lo, hi)
-	gc := serve.Goodput(chunked.New, cfg, mk, lo, hi)
+	factories := []serve.Factory{core.New, chunked.New}
+	gs := par.RunIndexed(len(factories), func(i int) float64 {
+		return serve.Goodput(factories[i], cfg, mk, lo, hi)
+	})
+	gm, gc := gs[0], gs[1]
 	t.Add("MuxWise", fmt.Sprintf("%.2f", gm))
 	t.Add("Chunked", fmt.Sprintf("%.2f", gc))
 	if gc > 0 {
@@ -206,9 +210,11 @@ func Sec6(o Opts) []Table {
 		Title:   "related multiplexers, ShareGPT goodput (A100×1, Llama-8B)",
 		Columns: []string{"system", "goodput(req/s)", "MuxWise ratio"},
 	}
-	gm := serve.Goodput(core.New, cfg, mk, lo, hi)
-	gw := serve.Goodput(windserve.New, cfg, mk, lo, hi)
-	gt := serve.Goodput(temporal.New, cfg, mk, lo, hi)
+	factories := []serve.Factory{core.New, windserve.New, temporal.New}
+	gs := par.RunIndexed(len(factories), func(i int) float64 {
+		return serve.Goodput(factories[i], cfg, mk, lo, hi)
+	})
+	gm, gw, gt := gs[0], gs[1], gs[2]
 	add := func(name string, g float64) {
 		ratio := "n/a"
 		if g > 0 {

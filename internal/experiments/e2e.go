@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"muxwise/internal/par"
 	"muxwise/internal/serve"
 	"muxwise/internal/workload"
 )
@@ -32,18 +33,22 @@ func fig14Cell(o Opts, cfg serve.Config, wl string, scale float64, seed uint64) 
 	}
 	sessions := o.size(1200, 120)
 	factories := Baselines()
-	for _, name := range fig14Systems {
+	rows := par.RunIndexed(len(fig14Systems), func(i int) []string {
+		name := fig14Systems[i]
 		tr := realTrace(wl, scale, sessions, seed)
 		res := serve.Run(factories[name], cfg, tr)
 		state := "stable"
 		if res.Summary.Unstable {
 			state = "UNSTABLE"
 		}
-		t.Add(name,
+		return []string{name,
 			sec(res.Summary.TTFT.P99),
 			ms(res.Summary.TBT.P99),
 			fmt.Sprintf("%.1f", res.Rec.TBTAttainment(cfg.SLO.TBT)*100),
-			state)
+			state}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -100,15 +105,19 @@ func Tables34(o Opts) []Table {
 			Title:   fmt.Sprintf("other metrics, Llama-70B on %s", c.wl),
 			Columns: []string{"system", "TTFT avg/p50 (s)", "TBT avg/p50 (ms)", "E2E avg/p50 (s)", "TPOT avg/p50 (ms)"},
 		}
-		for _, name := range fig14Systems {
+		rows := par.RunIndexed(len(fig14Systems), func(i int) []string {
+			name := fig14Systems[i]
 			tr := realTrace(c.wl, scale70B, sessions, c.seed)
 			res := serve.Run(factories[name], config70B(), tr)
 			s := res.Summary
-			t.Add(name,
+			return []string{name,
 				fmt.Sprintf("%.1f/%.1f", s.TTFT.Avg, s.TTFT.P50),
 				fmt.Sprintf("%.1f/%.1f", s.TBT.Avg*1e3, s.TBT.P50*1e3),
 				fmt.Sprintf("%.1f/%.1f", s.E2E.Avg, s.E2E.P50),
-				fmt.Sprintf("%.1f/%.1f", s.TPOT.Avg*1e3, s.TPOT.P50*1e3))
+				fmt.Sprintf("%.1f/%.1f", s.TPOT.Avg*1e3, s.TPOT.P50*1e3)}
+		})
+		for _, row := range rows {
+			t.Add(row...)
 		}
 		t.Notes = append(t.Notes, "paper Table 3/4: MuxWise leads every metric (one near-tie on P50 TBT in Table 4)")
 		out = append(out, t)
@@ -154,7 +163,12 @@ func Fig15(o Opts) []Table {
 			Columns: []string{"system", "goodput(req/s)", "vs MuxWise"},
 		}
 		goodputs := map[string]float64{}
-		for _, name := range fig14Systems {
+		type sweepRow struct {
+			row  []string
+			best float64
+		}
+		results := par.RunIndexed(len(fig14Systems), func(idx int) sweepRow {
+			name := fig14Systems[idx]
 			mk := poissonToolAgent(c.seed, sessions)
 			pts := serve.Sweep(factories[name], c.cfg, mk, c.rates)
 			row := []string{name}
@@ -174,8 +188,11 @@ func Fig15(o Opts) []Table {
 					row = append(row, "-")
 				}
 			}
-			t.Add(row...)
-			goodputs[name] = best
+			return sweepRow{row, best}
+		})
+		for i, r := range results {
+			t.Add(r.row...)
+			goodputs[fig14Systems[i]] = r.best
 		}
 		for _, name := range fig14Systems {
 			ratio := "n/a"
@@ -230,12 +247,12 @@ func Table5(o Opts) []Table {
 		if o.Quick {
 			hi = lo * 4
 		}
-		for _, name := range fig14Systems {
+		rows := par.RunIndexed(len(fig14Systems), func(i int) []string {
+			name := fig14Systems[i]
 			mk := poissonToolAgent(c.seed, sessions)
 			g := serve.Goodput(factories[name], c.cfg, mk, lo, hi)
 			if g == 0 {
-				t.Add(name, "0", "-", "-")
-				continue
+				return []string{name, "0", "-", "-"}
 			}
 			res := serve.Run(factories[name], c.cfg, mk(g))
 			util := res.MeanUtil() * 100
@@ -243,8 +260,11 @@ func Table5(o Opts) []Table {
 			if name == "SGLang-PD" && len(res.Devices) == 2 {
 				utilCell = fmt.Sprintf("P(%.1f)/D(%.1f)", res.Devices[0].Util*100, res.Devices[1].Util*100)
 			}
-			t.Add(name, fmt.Sprintf("%.2f", g),
-				fmt.Sprintf("%.0f", res.Summary.TokensPerSecond), utilCell)
+			return []string{name, fmt.Sprintf("%.2f", g),
+				fmt.Sprintf("%.0f", res.Summary.TokensPerSecond), utilCell}
+		})
+		for _, row := range rows {
+			t.Add(row...)
 		}
 		t.Notes = append(t.Notes,
 			"paper (70B): MuxWise 7430 tok/s @84.0%; Chunked 2269 @66.1; LoongServe 2936 @70.1; SGLang-PD 4538 @P67.1/D81.9")

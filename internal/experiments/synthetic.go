@@ -5,6 +5,7 @@ import (
 
 	"muxwise/internal/core"
 	"muxwise/internal/metrics"
+	"muxwise/internal/par"
 	"muxwise/internal/serve"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
@@ -51,15 +52,17 @@ func Fig17(o Opts) []Table {
 			Title:   fmt.Sprintf("Llama-70B on synthetic %s", c.kind),
 			Columns: []string{"system", "rate", "p99 TTFT(s)", "p99 TBT(ms)", "attain%"},
 		}
-		for _, name := range fig14Systems {
+		sweeps := par.RunIndexed(len(fig14Systems), func(i int) []serve.RatePoint {
 			mk := syntheticTrace(c.kind, c.seed, n)
-			pts := serve.Sweep(factories[name], config70B(), mk, c.rates)
+			return serve.Sweep(factories[fig14Systems[i]], config70B(), mk, c.rates)
+		})
+		for i, pts := range sweeps {
 			for _, p := range pts {
 				state := ""
 				if p.Unstable {
 					state = "*"
 				}
-				t.Add(name, fmt.Sprintf("%.2g%s", p.Rate, state),
+				t.Add(fig14Systems[i], fmt.Sprintf("%.2g%s", p.Rate, state),
 					sec(p.P99TTFT), ms(p.P99TBT),
 					fmt.Sprintf("%.1f", p.Attainment*100))
 			}

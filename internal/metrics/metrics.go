@@ -43,6 +43,10 @@ type Recorder struct {
 
 	prefillTokens int64
 	decodeTokens  int64
+
+	// OnFinish, when set, is invoked exactly once per request as it
+	// completes (cluster routers use it to track per-replica load).
+	OnFinish func(id int, at sim.Time)
 }
 
 // NewRecorder returns an empty recorder.
@@ -84,6 +88,9 @@ func (r *Recorder) Finish(id int, at sim.Time) {
 	if rec, ok := r.reqs[id]; ok && !rec.done {
 		rec.finished = at
 		rec.done = true
+		if r.OnFinish != nil {
+			r.OnFinish(id, at)
+		}
 	}
 }
 
@@ -235,6 +242,10 @@ func (r *Recorder) Summarize(name string, now sim.Time) Summary {
 	s.Unstable = s.Finished < s.Requests*95/100
 	return s
 }
+
+// IDs returns the recorded request IDs in arrival-insertion order
+// (cluster tests map them back to trace sessions).
+func (r *Recorder) IDs() []int { return r.ids }
 
 // Unfinished returns how many arrived requests have not completed.
 func (r *Recorder) Unfinished() int {

@@ -1,0 +1,32 @@
+package metrics
+
+import "fmt"
+
+// Merge combines per-replica recorders into one fleet-wide view, so the
+// cluster runner can report the same Summary / attainment statistics over
+// a whole deployment that a single-instance run reports for one engine.
+//
+// Request IDs must be disjoint across the inputs (a cluster routes each
+// request to exactly one replica, so per-replica recorders never share
+// an ID); a duplicate panics rather than producing a silently
+// half-merged summary. The merged recorder shares the per-request
+// records of its inputs and must be treated as read-only.
+func Merge(recs ...*Recorder) *Recorder {
+	m := NewRecorder()
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, id := range r.ids {
+			if _, dup := m.reqs[id]; dup {
+				panic(fmt.Sprintf("metrics: Merge saw request ID %d twice; inputs must be disjoint", id))
+			}
+			m.reqs[id] = r.reqs[id]
+			m.ids = append(m.ids, id)
+		}
+		m.tbt = append(m.tbt, r.tbt...)
+		m.prefillTokens += r.prefillTokens
+		m.decodeTokens += r.decodeTokens
+	}
+	return m
+}

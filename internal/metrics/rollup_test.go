@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"testing"
+
+	"muxwise/internal/sim"
+)
+
+func TestMergeCombinesRecorders(t *testing.T) {
+	a := NewRecorder()
+	a.Arrive(1, 0, 100)
+	a.Token(1, 10*sim.Millisecond)
+	a.Token(1, 30*sim.Millisecond)
+	a.Finish(1, 30*sim.Millisecond)
+	a.PrefillDone(100)
+
+	b := NewRecorder()
+	b.Arrive(2, 0, 50)
+	b.Token(2, 20*sim.Millisecond)
+	b.Token(2, 60*sim.Millisecond)
+	b.Finish(2, 60*sim.Millisecond)
+	b.PrefillDone(50)
+
+	m := Merge(a, b)
+	s := m.Summarize("fleet", sim.Second)
+	if s.Requests != 2 || s.Finished != 2 {
+		t.Fatalf("requests/finished = %d/%d, want 2/2", s.Requests, s.Finished)
+	}
+	if s.PrefillTokens != 150 || s.DecodeTokens != 4 {
+		t.Fatalf("tokens = %d/%d, want 150/4", s.PrefillTokens, s.DecodeTokens)
+	}
+	if len(m.TBTSamples()) != 2 {
+		t.Fatalf("merged TBT samples = %d, want 2", len(m.TBTSamples()))
+	}
+	// 20ms and 40ms gaps against a 30ms SLO → 50% attainment.
+	if att := m.TBTAttainment(30 * sim.Millisecond); att != 0.5 {
+		t.Fatalf("attainment = %v, want 0.5", att)
+	}
+}
+
+func TestMergeSkipsNilAndRejectsDuplicates(t *testing.T) {
+	a := NewRecorder()
+	a.Arrive(1, 0, 10)
+	if got := len(Merge(a, nil).IDs()); got != 1 {
+		t.Fatalf("merged ids = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge must panic on overlapping request IDs")
+		}
+	}()
+	Merge(a, a)
+}
+
+func TestOnFinishFiresOnce(t *testing.T) {
+	r := NewRecorder()
+	r.Arrive(1, 0, 10)
+	fired := 0
+	r.OnFinish = func(id int, at sim.Time) { fired++ }
+	r.Finish(1, sim.Second)
+	r.Finish(1, 2*sim.Second)
+	if fired != 1 {
+		t.Fatalf("OnFinish fired %d times, want 1", fired)
+	}
+}

@@ -1,0 +1,74 @@
+// Package par provides the one worker-pool primitive the sweep and
+// experiment harnesses share for fanning independent deterministic
+// simulations across CPUs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// slots bounds the extra worker goroutines alive across ALL RunIndexed
+// calls, so nested fan-outs (an experiment pool over systems whose
+// probes each call the sweep pool) cannot multiply into |outer|×|inner|
+// concurrent simulations.
+var slots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Workers returns the pool size RunIndexed would use for n tasks with
+// every slot free, so callers that batch work into waves can size them
+// to the available parallelism.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunIndexed evaluates fn(i) for i in [0, n) and returns the results in
+// index order. The calling goroutine always works through the tasks
+// itself while up to Workers(n)-1 helpers join if global slots are
+// free — so nested calls degrade toward sequential execution instead of
+// oversubscribing or deadlocking. Concurrency changes wall-clock time
+// only: callers consume the ordered results, so output stays
+// byte-identical to a sequential loop. fn must be safe to call from
+// multiple goroutines.
+func RunIndexed[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var idx atomic.Int64
+	work := func() {
+		for {
+			i := int(idx.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			out[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < Workers(n)-1; w++ {
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				work()
+			}()
+		default: // no slot free: the caller's own loop picks up the work
+		}
+	}
+	work()
+	wg.Wait()
+	return out
+}

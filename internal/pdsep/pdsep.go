@@ -75,6 +75,11 @@ func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.pDev, e.dDev} 
 // PrefillPool exposes the prefill instance's radix cache.
 func (e *Engine) PrefillPool() *kvcache.Pool { return e.pPool }
 
+// CachePools implements serve.PoolReporter. Prefix lookups happen on the
+// prefill side only; the decode pool holds per-request KV, so reporting
+// it would not add hit/miss samples.
+func (e *Engine) CachePools() []*kvcache.Pool { return []*kvcache.Pool{e.pPool, e.dPool} }
+
 // Submit implements serve.Engine.
 func (e *Engine) Submit(r *workload.Request) {
 	e.pending = append(e.pending, r)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"muxwise/internal/par"
 	"muxwise/internal/workload"
 )
 
@@ -33,39 +34,75 @@ func Probe(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, ra
 	}
 }
 
-// Sweep probes each rate in order, stopping two points after the system
-// first fails the SLO criterion (the paper stops testing once a system
-// becomes unstable, §4.2.3).
-func Sweep(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, rates []float64) []RatePoint {
-	var out []RatePoint
-	misses := 0
-	for _, r := range rates {
-		p := Probe(f, cfg, mkTrace, r)
-		out = append(out, p)
-		if !p.meets() {
-			misses++
-			if misses >= 2 {
-				break
+// SweepBy probes each rate with the given probe function and keeps the
+// points up to two past the first SLO miss (the paper stops testing once
+// a system becomes unstable, §4.2.3).
+//
+// Probes run concurrently — each is an independent deterministic
+// simulation — but the returned slice is identical to a sequential
+// sweep: points stay in rate order and the early-stop truncation is
+// applied to the ordered results. The probe function must therefore be
+// safe to call from multiple goroutines. Probes launch in geometrically
+// growing waves (2, 4, 8, ... capped by the worker pool) so a sweep
+// that fails at the low rates does not pay for the saturated high-rate
+// simulations past the cutoff — the slowest probes of the whole sweep —
+// even on machines with more cores than rates.
+func SweepBy(probe func(rate float64) RatePoint, rates []float64) []RatePoint {
+	pts := make([]RatePoint, 0, len(rates))
+	for wave := 2; len(pts) < len(rates); wave *= 2 {
+		start := len(pts)
+		end := min(start+min(wave, par.Workers(len(rates))), len(rates))
+		pts = append(pts, par.RunIndexed(end-start, func(i int) RatePoint {
+			return probe(rates[start+i])
+		})...)
+		// Replay the sequential early-stop rule on the ordered prefix.
+		misses := 0
+		for i, p := range pts {
+			if !p.meets() {
+				misses++
+				if misses >= 2 {
+					return pts[:i+1]
+				}
 			}
 		}
 	}
-	return out
+	return pts
 }
 
-// Goodput finds the highest offered rate (within [lo, hi]) that meets the
-// SLO criterion, by bisection to the given relative resolution.
-func Goodput(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) float64 {
-	if !Probe(f, cfg, mkTrace, lo).meets() {
+// Sweep probes each offered rate in order, stopping two points after the
+// engine first misses the SLO criterion. Probes run concurrently, so
+// mkTrace (and the factory) must be safe to call from multiple
+// goroutines — return a fresh trace per call instead of mutating a
+// shared one.
+func Sweep(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, rates []float64) []RatePoint {
+	return SweepBy(func(rate float64) RatePoint {
+		return Probe(f, cfg, mkTrace, rate)
+	}, rates)
+}
+
+// GoodputBy finds the highest offered rate (within [lo, hi]) whose probe
+// meets the SLO criterion, by bisection to a 2% relative resolution.
+// Bisection is inherently sequential: each probe decides the next rate.
+func GoodputBy(probe func(rate float64) RatePoint, lo, hi float64) float64 {
+	if !probe(lo).meets() {
 		return 0
 	}
 	best := lo
 	for i := 0; i < 7 && hi-lo > 0.02*hi; i++ {
 		mid := (lo + hi) / 2
-		if Probe(f, cfg, mkTrace, mid).meets() {
+		if probe(mid).meets() {
 			best, lo = mid, mid
 		} else {
 			hi = mid
 		}
 	}
 	return best
+}
+
+// Goodput finds the highest offered rate (within [lo, hi]) at which the
+// engine meets the SLO criterion — the paper's headline metric.
+func Goodput(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) float64 {
+	return GoodputBy(func(rate float64) RatePoint {
+		return Probe(f, cfg, mkTrace, rate)
+	}, lo, hi)
 }

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// PoolReporter is implemented by engines that expose their KV cache
+// pools, letting the runner and the cluster rollups report cache-hit
+// rates without knowing engine internals.
+type PoolReporter interface {
+	CachePools() []*kvcache.Pool
+}
+
+// Instance is one engine embedded in a simulation it does not own. It
+// bundles the engine with its private recorder and environment, so
+// several instances (a replica fleet) can share a single deterministic
+// event loop. Run is a thin wrapper over a single Instance.
+type Instance struct {
+	Label string
+	Env   *Env
+	Eng   Engine
+	Rec   *metrics.Recorder
+}
+
+// NewInstance builds an engine inside the shared simulator s. The config
+// is resolved with the same defaults Run applies.
+func NewInstance(s *sim.Sim, f Factory, cfg Config, label string) *Instance {
+	cfg = cfg.WithDefaults()
+	rec := metrics.NewRecorder()
+	env := &Env{
+		Sim:         s,
+		Spec:        cfg.Spec,
+		GPUs:        cfg.GPUs,
+		Arch:        cfg.Arch,
+		SLO:         cfg.SLO,
+		Rec:         rec,
+		ReserveFrac: cfg.ReserveFrac,
+		MaxBatch:    cfg.MaxBatch,
+	}
+	inst := &Instance{Label: label, Env: env, Eng: f(env), Rec: rec}
+	if label == "" {
+		inst.Label = inst.Eng.Name()
+	}
+	return inst
+}
+
+// OnFinish registers a per-request completion callback, chaining with any
+// callback already installed.
+func (i *Instance) OnFinish(fn func(id int, at sim.Time)) {
+	prev := i.Rec.OnFinish
+	i.Rec.OnFinish = func(id int, at sim.Time) {
+		if prev != nil {
+			prev(id, at)
+		}
+		fn(id, at)
+	}
+}
+
+// Submit records the request's arrival and delivers it to the engine.
+// It must be called from inside the simulation at the arrival time.
+func (i *Instance) Submit(r *workload.Request) {
+	i.Rec.Arrive(r.ID, r.Arrival, r.InputTokens)
+	i.Eng.Submit(r)
+}
+
+// CacheStats aggregates cache statistics across the engine's pools; it
+// returns zeros when the engine exposes none.
+func (i *Instance) CacheStats() kvcache.Stats {
+	var agg kvcache.Stats
+	pr, ok := i.Eng.(PoolReporter)
+	if !ok {
+		return agg
+	}
+	for _, p := range pr.CachePools() {
+		s := p.Stats()
+		agg.Lookups += s.Lookups
+		agg.HitTokens += s.HitTokens
+		agg.MissTokens += s.MissTokens
+		agg.Evictions += s.Evictions
+		agg.Inserts += s.Inserts
+	}
+	return agg
+}
+
+// CacheHit returns the token-weighted prefix-cache hit rate across the
+// engine's pools, or 0 when the engine exposes none.
+func (i *Instance) CacheHit() float64 { return i.CacheStats().HitRate() }
+
+// Result snapshots the instance's run result at simulation time now.
+func (i *Instance) Result(now sim.Time) Result {
+	res := Result{
+		Summary:  i.Rec.Summarize(i.Label, now),
+		Timeline: i.Eng.Timeline(),
+		Rec:      i.Rec,
+		CacheHit: i.CacheHit(),
+	}
+	for _, d := range i.Eng.Devices() {
+		res.Devices = append(res.Devices, d.Stats())
+	}
+	return res
+}

@@ -25,7 +25,8 @@ type Config struct {
 	Horizon sim.Time
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults resolves zero-valued knobs to their documented defaults.
+func (c Config) WithDefaults() Config {
 	if c.ReserveFrac == 0 {
 		c.ReserveFrac = 0.10
 	}
@@ -50,26 +51,14 @@ type Result struct {
 // Run replays the trace against a fresh engine built by factory and
 // returns the aggregated result. The run is fully deterministic.
 func Run(factory Factory, cfg Config, trace *workload.Trace) Result {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	s := sim.New()
-	rec := metrics.NewRecorder()
-	env := &Env{
-		Sim:         s,
-		Spec:        cfg.Spec,
-		GPUs:        cfg.GPUs,
-		Arch:        cfg.Arch,
-		SLO:         cfg.SLO,
-		Rec:         rec,
-		ReserveFrac: cfg.ReserveFrac,
-		MaxBatch:    cfg.MaxBatch,
-	}
-	eng := factory(env)
+	inst := NewInstance(s, factory, cfg, "")
 
 	var lastArrival sim.Time
 	for _, r := range trace.Requests {
 		r := r
-		rec.Arrive(r.ID, r.Arrival, r.InputTokens)
-		s.At(r.Arrival, func() { eng.Submit(r) })
+		s.At(r.Arrival, func() { inst.Submit(r) })
 		if r.Arrival > lastArrival {
 			lastArrival = r.Arrival
 		}
@@ -77,22 +66,24 @@ func Run(factory Factory, cfg Config, trace *workload.Trace) Result {
 	// Stability probe: a keeping-up system holds only its in-flight
 	// requests shortly after arrivals stop; a saturated one has a queue.
 	backlog := 0
-	s.At(lastArrival+30*sim.Second, func() { backlog = rec.Unfinished() })
+	s.At(lastArrival+30*sim.Second, func() { backlog = inst.Rec.Unfinished() })
 	s.RunUntil(lastArrival + cfg.Horizon)
 
-	res := Result{
-		Summary:  rec.Summarize(eng.Name(), s.Now()),
-		Timeline: eng.Timeline(),
-		Rec:      rec,
-	}
-	res.Summary.Backlog = backlog
-	if n := res.Summary.Requests; backlog > 10 && backlog*50 > n {
-		res.Summary.Unstable = true
-	}
-	for _, d := range eng.Devices() {
-		res.Devices = append(res.Devices, d.Stats())
-	}
+	res := inst.Result(s.Now())
+	ApplyBacklog(&res.Summary, backlog)
 	return res
+}
+
+// ApplyBacklog records the stability-probe backlog on the summary and
+// applies the shared instability verdict: a backlog that is both >10
+// requests and >2% of all arrivals marks the run as not keeping up.
+// The single-instance and cluster runners share this rule so their
+// "UNSTABLE" verdicts always agree.
+func ApplyBacklog(s *metrics.Summary, backlog int) {
+	s.Backlog = backlog
+	if backlog > 10 && backlog*50 > s.Requests {
+		s.Unstable = true
+	}
 }
 
 // MeanUtil averages the blended utilization across the engine's devices.

@@ -62,6 +62,9 @@ func (e *Engine) Timeline() *metrics.Timeline { return &metrics.Timeline{} }
 // Devices implements serve.Engine.
 func (e *Engine) Devices() []*gpu.Device { return []*gpu.Device{e.dev} }
 
+// CachePools implements serve.PoolReporter.
+func (e *Engine) CachePools() []*kvcache.Pool { return []*kvcache.Pool{e.pool} }
+
 // Submit implements serve.Engine.
 func (e *Engine) Submit(r *workload.Request) {
 	e.pending = append(e.pending, r)

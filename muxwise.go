@@ -19,12 +19,29 @@
 // Engines are selected by name: "MuxWise", "Chunked", "NanoFlow",
 // "LoongServe", "SGLang-PD", "WindServe", "Temporal". Everything runs on
 // a deterministic simulator — no GPU required.
+//
+// # Clusters
+//
+// ServeCluster scales the same simulation to a replica fleet behind an
+// EPP-style request router (round-robin, least-tokens, prefix-affinity,
+// pd-split):
+//
+//	fleet := muxwise.ClusterDeployment{
+//		Deployment: dep,
+//		Replicas: []muxwise.ReplicaSpec{
+//			{Engine: "MuxWise", Count: 6},
+//			{Engine: "SGLang-PD", Count: 2, Role: "prefill"},
+//		},
+//		Router: "pd-split",
+//	}
+//	cres, err := muxwise.ServeCluster(fleet, trace)
 package muxwise
 
 import (
 	"fmt"
 	"time"
 
+	"muxwise/internal/cluster"
 	"muxwise/internal/experiments"
 	"muxwise/internal/gpu"
 	"muxwise/internal/metrics"
@@ -177,8 +194,10 @@ func Goodput(engine string, dep Deployment, mkTrace func(rate float64) *Trace, l
 	return serve.Goodput(f, cfg, mkTrace, lo, hi), nil
 }
 
-// Sweep probes each offered rate in order, stopping shortly after the
-// engine first misses the SLO criterion.
+// Sweep probes each offered rate, stopping shortly after the engine
+// first misses the SLO criterion. Probes run concurrently (results are
+// identical to a sequential sweep), so mkTrace must be safe to call
+// from multiple goroutines — return a fresh trace per call.
 func Sweep(engine string, dep Deployment, mkTrace func(rate float64) *Trace, rates []float64) ([]RatePoint, error) {
 	f, err := factory(engine)
 	if err != nil {
@@ -189,4 +208,104 @@ func Sweep(engine string, dep Deployment, mkTrace func(rate float64) *Trace, rat
 		return nil, err
 	}
 	return serve.Sweep(f, cfg, mkTrace, rates), nil
+}
+
+// Cluster types re-exported from internal/cluster.
+type (
+	// ClusterResult aggregates a fleet run: the merged fleet summary
+	// plus per-replica rollups.
+	ClusterResult = cluster.Result
+	// ClusterReplicaResult is one replica's rollup in a ClusterResult.
+	ClusterReplicaResult = cluster.ReplicaResult
+)
+
+// ReplicaSpec describes one shape of replica in a ClusterDeployment.
+type ReplicaSpec struct {
+	// Engine names the serving engine, see Engines().
+	Engine string
+	// Count is how many replicas of this shape to run (default 1).
+	Count int
+	// GPUs overrides the deployment's per-replica device count.
+	GPUs int
+	// Role is "", "general", "prefill", or "decode"; the pd-split
+	// router steers long-prefill requests to prefill-role replicas.
+	Role string
+}
+
+// ClusterDeployment describes a replica fleet behind a request router.
+// The embedded Deployment supplies the per-replica hardware, model and
+// SLO (its GPUs field is the per-replica default).
+type ClusterDeployment struct {
+	Deployment
+	// Replicas lists the fleet shapes, e.g. 6× MuxWise + 2× SGLang-PD.
+	Replicas []ReplicaSpec
+	// Router names the policy, see RouterPolicies(). Empty selects
+	// prefix-affinity (the EPP-style default).
+	Router string
+}
+
+// RouterPolicies lists the available cluster router policies.
+func RouterPolicies() []string { return cluster.PolicyNames() }
+
+// config resolves the cluster deployment into a cluster.Config.
+func (d ClusterDeployment) config() (cluster.Config, error) {
+	base, err := d.Deployment.config()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	name := d.Router
+	if name == "" {
+		name = cluster.PrefixAffinityPolicy
+	}
+	policy, ok := cluster.Policies()[name]
+	if !ok {
+		return cluster.Config{}, fmt.Errorf("muxwise: unknown router %q (have %v)", d.Router, RouterPolicies())
+	}
+	cfg := cluster.Config{Base: base, Policy: policy}
+	for _, rs := range d.Replicas {
+		f, err := factory(rs.Engine)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		role, err := cluster.ParseRole(rs.Role)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg.Replicas = append(cfg.Replicas, cluster.ReplicaSpec{
+			Engine: rs.Engine, Factory: f, Count: rs.Count, GPUs: rs.GPUs, Role: role,
+		})
+	}
+	return cfg, nil
+}
+
+// ServeCluster replays the trace against a simulated replica fleet and
+// returns fleet-wide plus per-replica results. Runs are deterministic.
+func ServeCluster(dep ClusterDeployment, trace *Trace) (ClusterResult, error) {
+	cfg, err := dep.config()
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	return cluster.Run(cfg, trace)
+}
+
+// ClusterGoodput finds the highest request rate (req/s, within [lo, hi])
+// at which the fleet sustains the §4 goodput criterion on its merged
+// metrics — the paper's headline metric lifted to the cluster level.
+func ClusterGoodput(dep ClusterDeployment, mkTrace func(rate float64) *Trace, lo, hi float64) (float64, error) {
+	cfg, err := dep.config()
+	if err != nil {
+		return 0, err
+	}
+	return cluster.Goodput(cfg, mkTrace, lo, hi)
+}
+
+// ClusterSweep probes each offered rate against the fleet, with the
+// same early-stop semantics as Sweep. Like Sweep, probes run
+// concurrently and mkTrace must be goroutine-safe.
+func ClusterSweep(dep ClusterDeployment, mkTrace func(rate float64) *Trace, rates []float64) ([]RatePoint, error) {
+	cfg, err := dep.config()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Sweep(cfg, mkTrace, rates)
 }

@@ -1,0 +1,79 @@
+package muxwise_test
+
+import (
+	"testing"
+
+	"muxwise"
+)
+
+func fleet(router string) muxwise.ClusterDeployment {
+	return muxwise.ClusterDeployment{
+		Deployment: muxwise.Deployment{Hardware: "A100", GPUs: 1, Model: "Llama-8B"},
+		Replicas: []muxwise.ReplicaSpec{
+			{Engine: "MuxWise", Count: 3},
+			{Engine: "SGLang-PD", Count: 1, GPUs: 2, Role: "prefill"},
+		},
+		Router: router,
+	}
+}
+
+func clusterTrace() *muxwise.Trace {
+	conv := muxwise.Conversation(31, 20).WithProfileArrivals(31, muxwise.ConversationProfile(0.12))
+	tool := muxwise.ToolAgent(32, 20).WithProfileArrivals(32, muxwise.ToolAgentProfile(0.12))
+	return muxwise.MixTraces("mixed", conv, tool)
+}
+
+func TestServeClusterPolicies(t *testing.T) {
+	tr := clusterTrace()
+	for _, router := range muxwise.RouterPolicies() {
+		res, err := muxwise.ServeCluster(fleet(router), tr)
+		if err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		if res.Summary.Requests != tr.Len() {
+			t.Fatalf("%s: fleet saw %d of %d requests", router, res.Summary.Requests, tr.Len())
+		}
+		if len(res.Replicas) != 4 {
+			t.Fatalf("%s: %d replicas, want 4", router, len(res.Replicas))
+		}
+	}
+}
+
+func TestServeClusterErrors(t *testing.T) {
+	tr := muxwise.ShareGPT(1, 5).WithPoissonArrivals(1, 1)
+	bad := fleet("round-robin")
+	bad.Router = "random"
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown router should error")
+	}
+	bad = fleet("")
+	bad.Replicas[0].Engine = "vLLM"
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown engine should error")
+	}
+	bad = fleet("")
+	bad.Replicas[0].Role = "embedding"
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown role should error")
+	}
+}
+
+func TestClusterSweepAPI(t *testing.T) {
+	mk := func(rate float64) *muxwise.Trace {
+		return muxwise.ShareGPT(6, 60).WithPoissonArrivals(6, rate)
+	}
+	pts, err := muxwise.ClusterSweep(fleet("least-tokens"), mk, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty cluster sweep")
+	}
+	g, err := muxwise.ClusterGoodput(fleet("least-tokens"), mk, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Fatalf("fleet goodput %v, want > 0", g)
+	}
+}
