@@ -3,11 +3,21 @@
 //
 //	muxcluster -replicas 4xMuxWise -router prefix-affinity -workload mixed -scale 0.2
 //	muxcluster -replicas 6xMuxWise,2xSGLang-PD:prefill@2 -router all -json
+//	muxcluster -scenario failure -fail-at 1m
+//	muxcluster -scenario autoscale -min-replicas 1 -max-replicas 6
+//	muxcluster -scenario hetero
 //
-// The -replicas grammar is COUNTxENGINE[:ROLE][@GPUS], comma-separated:
-// "2xSGLang-PD:prefill@2" runs two SGLang-PD replicas tagged as
-// prefill-heavy with 2 GPUs each. -router all compares every policy on
-// the same trace.
+// The -replicas grammar is COUNTxENGINE[:ROLE][@GPUS][/HW],
+// comma-separated: "2xSGLang-PD:prefill@2/H100" runs two SGLang-PD
+// replicas tagged prefill-heavy with 2 H100s each. -router all compares
+// every policy on the same trace.
+//
+// Scenarios exercise the lifecycle-managed fleet: "failure" crashes
+// replica 0 mid-run (in-flight and sticky-session requests re-route and
+// pay a KV re-prefill on their new replicas), "autoscale" grows the
+// fleet from -min-replicas on backlog pressure, and "hetero" runs a
+// mixed A100+H100 fleet so each shape is costed by its own hardware
+// model. Fleet runs print a lifecycle log and a per-epoch rollup table.
 package main
 
 import (
@@ -15,14 +25,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
 
 	"muxwise"
+	"muxwise/internal/gpu"
 )
 
+// replicasGrammar documents the accepted -replicas syntax; it is printed
+// whenever the spec fails to parse.
+const replicasGrammar = `accepted -replicas grammar (comma-separated shapes):
+  COUNTxENGINE[:ROLE][@GPUS][/HW]
+    COUNT   replicas of this shape (positive integer; "x" separator)
+    ENGINE  one of the engine names below
+    ROLE    general (default), prefill, or decode
+    GPUS    devices per replica (positive integer)
+    HW      A100 (default), H100, or H200
+  examples:
+    4xMuxWise
+    6xMuxWise,2xSGLang-PD:prefill@2
+    2xMuxWise/A100,2xMuxWise/H100`
+
+// parseReplicas validates the full spec eagerly — engine names, roles,
+// hardware and counts — so a typo fails before any simulation runs.
 func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
+	known := muxwise.Engines()
 	var out []muxwise.ReplicaSpec
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -30,10 +59,14 @@ func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
 			continue
 		}
 		rs := muxwise.ReplicaSpec{Count: 1}
+		if slash := strings.SplitN(part, "/", 2); len(slash) == 2 {
+			rs.Hardware = slash[1]
+			part = slash[0]
+		}
 		if at := strings.SplitN(part, "@", 2); len(at) == 2 {
 			g, err := strconv.Atoi(at[1])
-			if err != nil {
-				return nil, fmt.Errorf("bad gpu count in %q", part)
+			if err != nil || g < 1 {
+				return nil, fmt.Errorf("bad gpu count %q in %q", at[1], part)
 			}
 			rs.GPUs = g
 			part = at[0]
@@ -52,6 +85,19 @@ func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
 			}
 		}
 		rs.Engine = part
+		if !slices.Contains(known, rs.Engine) {
+			return nil, fmt.Errorf("unknown engine %q (have %s)", rs.Engine, strings.Join(known, ", "))
+		}
+		switch rs.Role {
+		case "", "general", "prefill", "decode":
+		default:
+			return nil, fmt.Errorf("unknown role %q in %q (want general, prefill, or decode)", rs.Role, spec)
+		}
+		if rs.Hardware != "" {
+			if _, ok := gpu.SpecByName(rs.Hardware); !ok {
+				return nil, fmt.Errorf("unknown hardware %q in %q (want A100, H100, or H200)", rs.Hardware, spec)
+			}
+		}
 		out = append(out, rs)
 	}
 	if len(out) == 0 {
@@ -84,6 +130,62 @@ func buildTrace(wl string, seed uint64, n int, scale, rate float64) (*muxwise.Tr
 	return nil, fmt.Errorf("unknown workload %q", wl)
 }
 
+// scenarioOpts carries the scenario flags.
+type scenarioOpts struct {
+	name       string
+	failAt     time.Duration
+	minReps    int
+	maxReps    int
+	coldStart  time.Duration
+	autoscaler string
+}
+
+// applyScenario rewrites the deployment for the requested scenario.
+func applyScenario(dep *muxwise.ClusterDeployment, specFlagSet bool, o scenarioOpts) error {
+	switch o.name {
+	case "":
+		return nil
+	case "failure":
+		dep.Fleet = &muxwise.FleetOptions{
+			Events: []muxwise.FleetEvent{
+				{At: muxwise.FromDuration(o.failAt), Kind: "fail", Replica: 0},
+			},
+		}
+	case "autoscale":
+		if len(dep.Replicas) > 1 {
+			return fmt.Errorf("scenario autoscale wants a single replica shape, got %d", len(dep.Replicas))
+		}
+		dep.Replicas[0].Count = o.minReps
+		dep.Fleet = &muxwise.FleetOptions{
+			Autoscaler:  o.autoscaler,
+			MinReplicas: o.minReps,
+			MaxReplicas: o.maxReps,
+			ColdStart:   muxwise.FromDuration(o.coldStart),
+		}
+	case "hetero":
+		if !specFlagSet {
+			dep.Replicas = []muxwise.ReplicaSpec{
+				{Engine: "MuxWise", Count: 2, Hardware: "A100"},
+				{Engine: "MuxWise", Count: 2, Hardware: "H100"},
+			}
+		}
+		shapes := map[string]bool{}
+		for _, rs := range dep.Replicas {
+			hw := rs.Hardware
+			if hw == "" {
+				hw = dep.Hardware
+			}
+			shapes[strings.ToUpper(hw)] = true
+		}
+		if len(shapes) < 2 {
+			return fmt.Errorf("scenario hetero wants mixed hardware; tag shapes with /A100, /H100 or /H200")
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q (want autoscale, failure, or hetero)", o.name)
+	}
+	return nil
+}
+
 // routerRow is the JSON record for one router's fleet run.
 type routerRow struct {
 	Router     string
@@ -95,20 +197,78 @@ type routerRow struct {
 	CacheHit   float64
 	MeanUtil   float64
 	Unstable   bool
+	Failures   int `json:",omitempty"`
+	Unrouted   int `json:",omitempty"`
 	Replicas   []replicaRow
+	Epochs     []epochRow `json:",omitempty"`
+	Events     []string   `json:",omitempty"`
 }
 
 type replicaRow struct {
 	Name     string
 	Role     string
+	Hardware string
+	State    string
 	Requests int
 	CacheHit float64
 }
 
+type epochRow struct {
+	From, To   float64 // seconds
+	Label      string
+	Ready      int
+	Arrivals   int
+	P99TTFT    float64 // seconds
+	P99TBT     float64 // seconds
+	Attainment float64
+	CacheHit   float64
+}
+
+func rowOf(name string, res muxwise.ClusterResult, tbtSLO muxwise.Time) routerRow {
+	row := routerRow{
+		Router:     name,
+		Requests:   res.Summary.Requests,
+		Finished:   res.Summary.Finished,
+		P99TTFT:    res.Summary.TTFT.P99,
+		P99TBT:     res.Summary.TBT.P99,
+		Attainment: res.Rec.TBTAttainment(tbtSLO),
+		CacheHit:   res.CacheHit,
+		MeanUtil:   res.MeanUtil(),
+		Unstable:   res.Summary.Unstable,
+		Failures:   res.Failures,
+		Unrouted:   res.Unrouted,
+	}
+	for _, rep := range res.Replicas {
+		row.Replicas = append(row.Replicas, replicaRow{
+			Name: rep.Name, Role: rep.Role.String(), Hardware: rep.Hardware,
+			State: rep.State.String(), Requests: rep.Requests, CacheHit: rep.CacheHit,
+		})
+	}
+	for _, ep := range res.Epochs {
+		row.Epochs = append(row.Epochs, epochRow{
+			From: ep.From.Seconds(), To: ep.To.Seconds(),
+			Label: ep.Label, Ready: ep.Ready, Arrivals: ep.Window.Arrivals,
+			P99TTFT: ep.Window.TTFT.P99, P99TBT: ep.Window.TBT.P99,
+			Attainment: ep.Attainment, CacheHit: ep.CacheHit,
+		})
+	}
+	for _, ev := range res.Events {
+		row.Events = append(row.Events, fmt.Sprintf("%v %s", ev.At, ev.Msg))
+	}
+	return row
+}
+
 func main() {
-	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS],...")
+	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS][/HW],...")
 	router := flag.String("router", "prefix-affinity",
 		"router policy ("+strings.Join(muxwise.RouterPolicies(), ", ")+") or 'all'")
+	scenario := flag.String("scenario", "", "fleet scenario: autoscale, failure, or hetero")
+	failAt := flag.Duration("fail-at", time.Minute, "failure scenario: when replica 0 crashes")
+	minReps := flag.Int("min-replicas", 1, "autoscale scenario: starting and minimum fleet size")
+	maxReps := flag.Int("max-replicas", 8, "autoscale scenario: maximum fleet size")
+	coldStart := flag.Duration("cold-start", 15*time.Second, "autoscale scenario: spawn-to-ready delay")
+	autoscaler := flag.String("autoscaler", "backlog",
+		"autoscale scenario policy ("+strings.Join(muxwise.AutoscalerPolicies(), ", ")+")")
 	mdl := flag.String("model", "Llama-8B", "model name")
 	hw := flag.String("hw", "A100", "hardware: A100, H100, H200")
 	gpus := flag.Int("gpus", 1, "GPUs per replica (overridable per shape with @N)")
@@ -124,8 +284,8 @@ func main() {
 
 	specs, err := parseReplicas(*replicas)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "muxcluster: %v\n\n%s\n", err, replicasGrammar)
+		os.Exit(2)
 	}
 	trace, err := buildTrace(*wl, *seed, *n, *scale, *rate)
 	if err != nil {
@@ -139,36 +299,32 @@ func main() {
 	}
 
 	slo := muxwise.SLO{TTFT: muxwise.FromDuration(*ttft), TBT: muxwise.FromDuration(*tbt)}
+	specFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replicas" {
+			specFlagSet = true
+		}
+	})
 	var rows []routerRow
 	for _, name := range routers {
 		dep := muxwise.ClusterDeployment{
 			Deployment: muxwise.Deployment{Hardware: *hw, GPUs: *gpus, Model: *mdl, SLO: slo},
-			Replicas:   specs,
+			Replicas:   append([]muxwise.ReplicaSpec(nil), specs...),
 			Router:     name,
+		}
+		if err := applyScenario(&dep, specFlagSet, scenarioOpts{
+			name: *scenario, failAt: *failAt, minReps: *minReps, maxReps: *maxReps,
+			coldStart: *coldStart, autoscaler: *autoscaler,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "muxcluster:", err)
+			os.Exit(2)
 		}
 		res, err := muxwise.ServeCluster(dep, trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		row := routerRow{
-			Router:     name,
-			Requests:   res.Summary.Requests,
-			Finished:   res.Summary.Finished,
-			P99TTFT:    res.Summary.TTFT.P99,
-			P99TBT:     res.Summary.TBT.P99,
-			Attainment: res.Rec.TBTAttainment(slo.TBT),
-			CacheHit:   res.CacheHit,
-			MeanUtil:   res.MeanUtil(),
-			Unstable:   res.Summary.Unstable,
-		}
-		for _, rep := range res.Replicas {
-			row.Replicas = append(row.Replicas, replicaRow{
-				Name: rep.Name, Role: rep.Role.String(),
-				Requests: rep.Requests, CacheHit: rep.CacheHit,
-			})
-		}
-		rows = append(rows, row)
+		rows = append(rows, rowOf(name, res, slo.TBT))
 	}
 
 	if *asJSON {
@@ -181,7 +337,11 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fleet %s on %s (%s, %d reqs)\n\n", *replicas, *wl, *mdl, trace.Len())
+	what := *replicas
+	if *scenario != "" {
+		what += " scenario=" + *scenario
+	}
+	fmt.Printf("fleet %s on %s (%s, %d reqs)\n\n", what, *wl, *mdl, trace.Len())
 	fmt.Printf("%-16s %9s %9s %8s %8s %7s %6s\n",
 		"router", "p99TTFT", "p99TBT", "attain%", "cache%", "util%", "state")
 	for _, r := range rows {
@@ -193,11 +353,29 @@ func main() {
 			r.Router, r.P99TTFT, r.P99TBT*1e3,
 			r.Attainment*100, r.CacheHit*100, r.MeanUtil*100, state)
 	}
-	if len(rows) == 1 {
-		fmt.Printf("\nper-replica (router %s):\n", rows[0].Router)
-		for _, rep := range rows[0].Replicas {
-			fmt.Printf("  %-16s %-8s %5d reqs  cache %5.1f%%\n",
-				rep.Name, rep.Role, rep.Requests, rep.CacheHit*100)
+	if len(rows) != 1 {
+		return
+	}
+	row := rows[0]
+	fmt.Printf("\nper-replica (router %s):\n", row.Router)
+	for _, rep := range row.Replicas {
+		fmt.Printf("  %-16s %-8s %-9s %-8s %5d reqs  cache %5.1f%%\n",
+			rep.Name, rep.Role, rep.Hardware, rep.State, rep.Requests, rep.CacheHit*100)
+	}
+	if len(row.Events) > 0 {
+		fmt.Println("\nfleet events:")
+		for _, ev := range row.Events {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+	if len(row.Epochs) > 0 {
+		fmt.Println("\nepochs:")
+		fmt.Printf("  %-22s %10s %6s %6s %9s %9s %8s %7s\n",
+			"epoch", "span", "ready", "arriv", "p99TTFT", "p99TBT", "attain%", "cache%")
+		for _, ep := range row.Epochs {
+			fmt.Printf("  %-22s %4.0fs-%4.0fs %6d %6d %8.2fs %7.1fms %8.1f %7.1f\n",
+				ep.Label, ep.From, ep.To, ep.Ready, ep.Arrivals,
+				ep.P99TTFT, ep.P99TBT*1e3, ep.Attainment*100, ep.CacheHit*100)
 		}
 	}
 }

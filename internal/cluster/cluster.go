@@ -11,16 +11,28 @@
 // serve.Instance embedded in a shared sim, with the Router consulted at
 // every arrival.
 //
+// The fleet is lifecycle-managed, not fixed at construction: a
+// FleetController processes scheduled events (SpawnReplica with a
+// cold-start delay, DrainReplica, FailReplica, RetireReplica) and
+// optional autoscaler policies inside the same event loop. A failing
+// replica surfaces its in-flight requests for re-dispatch; the sessions
+// pinned to it lose their KV and pay a full re-prefill on whichever
+// replica they re-stick to — the KV-migration penalty, charged through
+// the ordinary cache-hit machinery.
+//
 // Fleet-wide metrics reuse the single-instance machinery: per-replica
 // recorders are merged (metrics.Merge) into one Summary, and
 // Probe/Sweep/Goodput apply the same §4 goodput criterion (stable, ≥99%
-// of TBT samples within SLO) to the merged view.
+// of TBT samples within SLO) to the merged view. Runs with fleet events
+// additionally report per-epoch rollups: one metrics.Window plus a
+// cache-hit rate per interval between fleet mutations.
 package cluster
 
 import (
 	"fmt"
 	"sync"
 
+	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
 	"muxwise/internal/serve"
@@ -68,6 +80,42 @@ func ParseRole(s string) (Role, error) {
 	return RoleGeneral, fmt.Errorf("cluster: unknown role %q", s)
 }
 
+// State is a replica's position in its lifecycle.
+type State int
+
+const (
+	// StateStarting replicas are spawned but still cold-starting
+	// (loading weights, warming graphs); they take no traffic.
+	StateStarting State = iota
+	// StateReady replicas are serving and routable.
+	StateReady
+	// StateDraining replicas finish their in-flight requests but take no
+	// new ones; an emptied draining replica retires automatically.
+	StateDraining
+	// StateFailed replicas crashed: their in-flight requests were
+	// re-dispatched and their KV (and metrics past the failure) is gone.
+	StateFailed
+	// StateRetired replicas were decommissioned gracefully.
+	StateRetired
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateFailed:
+		return "failed"
+	case StateRetired:
+		return "retired"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
 // ReplicaSpec describes one shape of replica in the fleet.
 type ReplicaSpec struct {
 	// Engine is the display name ("MuxWise", "SGLang-PD", ...).
@@ -78,6 +126,10 @@ type ReplicaSpec struct {
 	Count int
 	// GPUs overrides the per-replica device count (default Base.GPUs).
 	GPUs int
+	// Hardware overrides the per-replica GPU spec (zero Name means
+	// Base.Spec) — heterogeneous fleets mix A100 and H100 shapes behind
+	// one router, each replica costed by its own spec.
+	Hardware gpu.Spec
 	// Role tags the replica for role-aware routers.
 	Role Role
 }
@@ -85,13 +137,17 @@ type ReplicaSpec struct {
 // Config describes a cluster deployment.
 type Config struct {
 	// Base carries the per-replica hardware, model, SLO and runner
-	// knobs; ReplicaSpec.GPUs overrides Base.GPUs per shape.
+	// knobs; ReplicaSpec.GPUs/Hardware override Base per shape.
 	Base serve.Config
-	// Replicas lists the fleet shapes in deployment order.
+	// Replicas lists the initial fleet shapes in deployment order.
 	Replicas []ReplicaSpec
 	// Policy constructs the router; each run gets a fresh one (routers
 	// keep state such as session maps and round-robin cursors).
 	Policy Policy
+	// Fleet optionally scripts lifecycle events and attaches an
+	// autoscaler. Nil runs the initial fleet unchanged, exactly as
+	// before.
+	Fleet *FleetConfig
 }
 
 // Replica is one engine instance plus the load bookkeeping routers
@@ -103,10 +159,21 @@ type Replica struct {
 	Spec ReplicaSpec
 	Inst *serve.Instance
 
+	// State is the lifecycle position; ReadyAt/DownAt bracket the span
+	// the replica served traffic (DownAt is zero while up).
+	State   State
+	ReadyAt sim.Time
+	DownAt  sim.Time
+
 	inFlight  int
 	outTokens int64
 	assigned  int
-	reqTokens map[int]int64
+	reqs      map[int]*workload.Request // in-flight, by request ID
+
+	// frozen* snapshot the replica's result and cache stats at the
+	// instant it went down, excluding any ghost simulation work after.
+	frozenResult *serve.Result
+	frozenCache  *kvcache.Stats
 }
 
 // InFlight returns how many routed requests have not finished.
@@ -119,32 +186,87 @@ func (r *Replica) OutstandingTokens() int64 { return r.outTokens }
 // Assigned returns how many requests the router sent here in total.
 func (r *Replica) Assigned() int { return r.assigned }
 
-// submit routes a request into the replica at its arrival time.
+// routable reports whether the router may pick this replica.
+func (r *Replica) routable() bool { return r.State == StateReady }
+
+// down reports whether the replica has left the fleet for good.
+func (r *Replica) down() bool { return r.State == StateFailed || r.State == StateRetired }
+
+// submit routes a request into the replica at (or after) its arrival.
 func (r *Replica) submit(req *workload.Request) {
-	t := int64(req.InputTokens + req.OutputTokens)
 	r.assigned++
 	r.inFlight++
-	r.outTokens += t
-	r.reqTokens[req.ID] = t
+	r.outTokens += int64(req.InputTokens + req.OutputTokens)
+	r.reqs[req.ID] = req
 	r.Inst.Submit(req)
 }
 
 // finish is the completion callback wired into the instance recorder.
 func (r *Replica) finish(id int) {
-	t, ok := r.reqTokens[id]
+	req, ok := r.reqs[id]
 	if !ok {
 		return
 	}
-	delete(r.reqTokens, id)
+	delete(r.reqs, id)
 	r.inFlight--
-	r.outTokens -= t
+	r.outTokens -= int64(req.InputTokens + req.OutputTokens)
 }
 
-// Cluster is a replica fleet sharing one simulator.
+// result snapshots the replica's serve result, preferring the frozen
+// view captured at the instant it went down.
+func (r *Replica) result(now sim.Time) serve.Result {
+	if r.frozenResult != nil {
+		return *r.frozenResult
+	}
+	return r.Inst.Result(now)
+}
+
+// cacheStats returns cache statistics, frozen at down-time for dead
+// replicas so ghost work cannot leak into fleet rollups.
+func (r *Replica) cacheStats() kvcache.Stats {
+	if r.frozenCache != nil {
+		return *r.frozenCache
+	}
+	return r.Inst.CacheStats()
+}
+
+// LogEntry is one timestamped fleet lifecycle message.
+type LogEntry struct {
+	At  sim.Time
+	Msg string
+}
+
+// epochMark opens a fleet epoch: the instant, what changed, and
+// snapshots of the fleet state needed for per-epoch deltas.
+type epochMark struct {
+	at    sim.Time
+	label string
+	ready int
+	cache kvcache.Stats
+}
+
+// Cluster is a replica fleet sharing one simulator. Replicas holds every
+// replica ever created, in spawn order; IDs are stable indexes into it.
 type Cluster struct {
 	Sim      *sim.Sim
 	Replicas []*Replica
 	Router   Router
+
+	base    serve.Config
+	nameSeq map[string]int
+
+	// pending holds requests that arrived while no replica was routable;
+	// they flush, in order, as soon as one becomes ready.
+	pending []*workload.Request
+
+	// routableBuf is the scratch slice Routable rebuilds per arrival.
+	routableBuf []*Replica
+
+	log   []LogEntry
+	marks []epochMark
+
+	// failures counts FailReplica events applied.
+	failures int
 }
 
 // validate checks the config without constructing any engine.
@@ -160,68 +282,340 @@ func validate(cfg Config) error {
 			return fmt.Errorf("cluster: replica spec %q has no factory", spec.Engine)
 		}
 	}
+	if cfg.Fleet != nil {
+		initial := 0
+		for _, spec := range cfg.Replicas {
+			n := spec.Count
+			if n <= 0 {
+				n = 1
+			}
+			initial += n
+		}
+		if err := cfg.Fleet.validate(initial); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// New expands the config into a fleet inside the shared simulator s.
+// New expands the config into a fleet inside the shared simulator s. The
+// initial replicas are ready at time zero; cfg.Fleet events and
+// autoscaling are attached by Run, which owns the whole lifecycle of a
+// trace replay.
 func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Sim: s, Router: cfg.Policy()}
+	c := &Cluster{Sim: s, Router: cfg.Policy(), base: cfg.Base, nameSeq: map[string]int{}}
 	for _, spec := range cfg.Replicas {
 		count := spec.Count
 		if count <= 0 {
 			count = 1
 		}
-		base := cfg.Base
-		if spec.GPUs > 0 {
-			base.GPUs = spec.GPUs
-		}
 		for i := 0; i < count; i++ {
-			rep := &Replica{
-				ID:        len(c.Replicas),
-				Name:      fmt.Sprintf("%s-%d", spec.Engine, i),
-				Role:      spec.Role,
-				Spec:      spec,
-				reqTokens: map[int]int64{},
-			}
-			rep.Inst = serve.NewInstance(s, spec.Factory, base, rep.Name)
-			rep.Inst.OnFinish(func(id int, at sim.Time) { rep.finish(id) })
-			c.Replicas = append(c.Replicas, rep)
+			rep := c.addReplica(spec)
+			rep.State = StateReady
 		}
 	}
+	c.mark("start")
 	return c, nil
 }
 
+// addReplica constructs one replica (in StateStarting) and appends it to
+// the fleet.
+func (c *Cluster) addReplica(spec ReplicaSpec) *Replica {
+	base := c.base
+	if spec.GPUs > 0 {
+		base.GPUs = spec.GPUs
+	}
+	if spec.Hardware.Name != "" {
+		base.Spec = spec.Hardware
+	}
+	seq := c.nameSeq[spec.Engine]
+	c.nameSeq[spec.Engine] = seq + 1
+	rep := &Replica{
+		ID:    len(c.Replicas),
+		Name:  fmt.Sprintf("%s-%d", spec.Engine, seq),
+		Role:  spec.Role,
+		Spec:  spec,
+		State: StateStarting,
+		reqs:  map[int]*workload.Request{},
+	}
+	rep.Inst = serve.NewInstance(c.Sim, spec.Factory, base, rep.Name)
+	rep.Inst.OnFinish(func(id int, at sim.Time) {
+		rep.finish(id)
+		if rep.State == StateDraining && rep.inFlight == 0 {
+			c.retireDrained(rep)
+		}
+	})
+	c.Replicas = append(c.Replicas, rep)
+	return rep
+}
+
+// Replica returns the replica with the given ID, or nil.
+func (c *Cluster) Replica(id int) *Replica {
+	if id < 0 || id >= len(c.Replicas) {
+		return nil
+	}
+	return c.Replicas[id]
+}
+
+// Routable returns the replicas the router may currently pick, in ID
+// order. The slice is a scratch buffer valid until the next call — it
+// is rebuilt on every arrival, so callers (routers) must not retain it.
+func (c *Cluster) Routable() []*Replica {
+	out := c.routableBuf[:0]
+	for _, rep := range c.Replicas {
+		if rep.routable() {
+			out = append(out, rep)
+		}
+	}
+	c.routableBuf = out
+	return out
+}
+
+// countState returns how many replicas are in the given state.
+func (c *Cluster) countState(s State) int {
+	n := 0
+	for _, rep := range c.Replicas {
+		if rep.State == s {
+			n++
+		}
+	}
+	return n
+}
+
+// logf appends a timestamped entry to the fleet log.
+func (c *Cluster) logf(format string, args ...any) {
+	c.log = append(c.log, LogEntry{At: c.Sim.Now(), Msg: fmt.Sprintf(format, args...)})
+}
+
+// mark opens a new fleet epoch at the current instant.
+func (c *Cluster) mark(label string) {
+	c.marks = append(c.marks, epochMark{
+		at:    c.Sim.Now(),
+		label: label,
+		ready: c.countState(StateReady),
+		cache: c.aggCache(),
+	})
+}
+
+// aggCache sums cache statistics across the fleet, using down replicas'
+// frozen snapshots.
+func (c *Cluster) aggCache() kvcache.Stats {
+	var agg kvcache.Stats
+	for _, rep := range c.Replicas {
+		cs := rep.cacheStats()
+		agg.Lookups += cs.Lookups
+		agg.HitTokens += cs.HitTokens
+		agg.MissTokens += cs.MissTokens
+		agg.Evictions += cs.Evictions
+		agg.Inserts += cs.Inserts
+	}
+	return agg
+}
+
 // Submit routes one request to the replica the router picks. It must be
-// called from inside the simulation at the request's arrival time.
+// called from inside the simulation, at the request's arrival time or
+// later (re-dispatch). When no replica is routable the request queues
+// and flushes as soon as one becomes ready; it returns nil in that case.
 func (c *Cluster) Submit(r *workload.Request) *Replica {
-	rep := c.Router.Pick(r, c.Replicas)
-	if rep == nil {
-		rep = c.Replicas[0]
+	cands := c.Routable()
+	if len(cands) == 0 {
+		c.pending = append(c.pending, r)
+		return nil
+	}
+	rep := c.Router.Pick(r, cands)
+	if rep == nil || !rep.routable() {
+		rep = cands[0]
 	}
 	rep.submit(r)
 	return rep
 }
 
-// Unfinished sums arrived-but-incomplete requests across the fleet.
+// flushPending re-submits queued requests once a replica becomes ready.
+func (c *Cluster) flushPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	queued := c.pending
+	c.pending = nil
+	for _, r := range queued {
+		c.Submit(r)
+	}
+}
+
+// Spawn adds a replica of the given shape. With a positive coldStart the
+// replica joins in StateStarting and becomes routable coldStart later
+// (weight loading, graph capture); with zero it is ready immediately.
+func (c *Cluster) Spawn(spec ReplicaSpec, coldStart sim.Time) *Replica {
+	rep := c.addReplica(spec)
+	if coldStart <= 0 {
+		c.makeReady(rep)
+		return rep
+	}
+	c.logf("spawn %s (cold start %v)", rep.Name, coldStart)
+	c.Sim.After(coldStart, func() { c.makeReady(rep) })
+	return rep
+}
+
+// makeReady promotes a starting replica into the routable set.
+func (c *Cluster) makeReady(rep *Replica) {
+	if rep.State != StateStarting {
+		return // failed or retired while cold-starting
+	}
+	rep.State = StateReady
+	rep.ReadyAt = c.Sim.Now()
+	c.logf("ready %s", rep.Name)
+	c.mark("ready " + rep.Name)
+	c.flushPending()
+}
+
+// Drain stops routing new work to the replica; its in-flight requests
+// run to completion, after which it retires automatically.
+func (c *Cluster) Drain(rep *Replica) {
+	if rep == nil || rep.down() || rep.State == StateDraining {
+		return
+	}
+	if rep.State == StateStarting {
+		// Never served: retire on the spot.
+		c.takeDown(rep, StateRetired, "retire")
+		return
+	}
+	rep.State = StateDraining
+	c.logf("drain %s (%d in flight)", rep.Name, rep.inFlight)
+	c.mark("drain " + rep.Name)
+	if rep.inFlight == 0 {
+		c.retireDrained(rep)
+	}
+}
+
+// retireDrained completes a drain once the replica empties.
+func (c *Cluster) retireDrained(rep *Replica) {
+	c.takeDown(rep, StateRetired, "drained")
+}
+
+// Fail crashes the replica: its in-flight requests are re-dispatched to
+// the rest of the fleet, every session pinned to it loses its KV (the
+// re-prefill shows up as cache misses on the new holders), and its
+// metrics freeze at the failure instant.
+func (c *Cluster) Fail(rep *Replica) {
+	if rep == nil || rep.down() {
+		return
+	}
+	c.failures++
+	c.takeDown(rep, StateFailed, "fail")
+}
+
+// Retire decommissions the replica immediately, re-dispatching any
+// in-flight requests. (Use Drain for a graceful hand-off that lets them
+// finish in place.)
+func (c *Cluster) Retire(rep *Replica) {
+	if rep == nil || rep.down() {
+		return
+	}
+	c.takeDown(rep, StateRetired, "retire")
+}
+
+// Failures returns how many replicas failed during the run.
+func (c *Cluster) Failures() int { return c.failures }
+
+// takeDown removes a replica from the fleet: halt its instance, abort
+// and collect its in-flight requests, notify the router, and re-dispatch
+// the survivors. Everything happens at one simulation instant, so a run
+// with the same seed replays byte-identically.
+func (c *Cluster) takeDown(rep *Replica, state State, label string) {
+	now := c.Sim.Now()
+	rep.Inst.Halt()
+
+	// Surface in-flight requests (arrival order) and withdraw them from
+	// the dead recorder so they can re-arrive elsewhere under the same ID.
+	var redispatch []*workload.Request
+	for _, id := range rep.Inst.Open() {
+		req, ok := rep.reqs[id]
+		if !ok {
+			continue
+		}
+		rep.Inst.Abort(id)
+		redispatch = append(redispatch, req)
+	}
+	rep.inFlight = 0
+	rep.outTokens = 0
+	rep.reqs = map[int]*workload.Request{}
+
+	// Freeze the replica's view after the aborts: its summary holds only
+	// work it completed, and later ghost events cannot move it.
+	res := rep.Inst.Result(now)
+	cs := rep.Inst.CacheStats()
+	rep.frozenResult, rep.frozenCache = &res, &cs
+	rep.State = state
+	rep.DownAt = now
+
+	// The router must forget the replica before re-dispatch, or sticky
+	// sessions would re-pin to the corpse.
+	if obs, ok := c.Router.(FleetObserver); ok {
+		obs.ReplicaDown(rep.ID)
+	}
+	c.logf("%s %s (%d in-flight re-dispatched)", label, rep.Name, len(redispatch))
+	c.mark(label + " " + rep.Name)
+	for _, req := range redispatch {
+		c.Submit(req)
+	}
+}
+
+// Unfinished sums arrived-but-incomplete requests across the fleet,
+// including requests queued for want of a routable replica.
 func (c *Cluster) Unfinished() int {
-	n := 0
+	n := len(c.pending)
 	for _, rep := range c.Replicas {
 		n += rep.Inst.Rec.Unfinished()
 	}
 	return n
 }
 
+// TTFTTail pools TTFT samples observed at or after from across the
+// fleet and summarises them — the sliding-window tail signal the
+// TTFT-target autoscaler watches.
+func (c *Cluster) TTFTTail(from sim.Time) metrics.Quantiles {
+	var samples []float64
+	for _, rep := range c.Replicas {
+		samples = append(samples, rep.Inst.Rec.TTFTSamplesSince(from)...)
+	}
+	return metrics.QuantilesOf(samples)
+}
+
 // ReplicaResult is the per-replica rollup of a cluster run.
 type ReplicaResult struct {
 	Name     string
 	Engine   string
+	Hardware string
 	Role     Role
-	Requests int // requests routed to this replica
+	State    State
+	ReadyAt  sim.Time
+	DownAt   sim.Time // zero if the replica was still up at the end
+	Requests int      // requests routed to this replica
 	CacheHit float64
 	Result   serve.Result
+}
+
+// Epoch is the rollup of one fleet epoch: the interval between two
+// consecutive fleet mutations (spawn-ready, drain, fail, retire).
+type Epoch struct {
+	From, To sim.Time
+	// Label names the event that opened the epoch ("start",
+	// "fail MuxWise-0", "ready MuxWise-4", ...).
+	Label string
+	// Ready is the routable replica count when the epoch opened.
+	Ready int
+	// Window carries the epoch's latency rollup (arrivals, TTFT/TBT
+	// quantiles, completions).
+	Window metrics.Window
+	// Attainment is the epoch's TBT SLO attainment.
+	Attainment float64
+	// CacheHit is the fleet prefix-cache hit rate over lookups made
+	// inside the epoch (not cumulative) — the KV re-prefill penalty of a
+	// failure is visible as a dip here.
+	CacheHit float64
 }
 
 // Result aggregates a cluster run: the fleet-wide summary over merged
@@ -232,6 +626,16 @@ type Result struct {
 	Rec      *metrics.Recorder // merged fleet view (read-only)
 	Replicas []ReplicaResult
 	CacheHit float64 // fleet token-weighted prefix-cache hit rate
+
+	// Epochs holds per-epoch rollups for lifecycle-managed runs (nil
+	// when the fleet never changed).
+	Epochs []Epoch
+	// Events is the timestamped fleet lifecycle log.
+	Events []LogEntry
+	// Failures counts replicas that failed mid-run.
+	Failures int
+	// Unrouted counts requests that never found a routable replica.
+	Unrouted int
 }
 
 // MeanUtil averages blended GPU utilization across all replica devices.
@@ -250,9 +654,65 @@ func (r Result) MeanUtil() float64 {
 	return sum / float64(n)
 }
 
+// epochs assembles per-epoch rollups from the marks collected during the
+// run. Static fleets (a single "start" mark) report none.
+func (c *Cluster) epochs(rec *metrics.Recorder, end sim.Time, tbtSLO sim.Time) []Epoch {
+	if len(c.marks) < 2 {
+		return nil
+	}
+	// Coalesce marks sharing an instant (e.g. two replicas ready at the
+	// same tick): the last one carries the settled fleet state.
+	var marks []epochMark
+	for _, m := range c.marks {
+		if m.at > end {
+			break
+		}
+		if n := len(marks); n > 0 && marks[n-1].at == m.at {
+			m.label = marks[n-1].label + " + " + m.label
+			marks[n-1] = m
+			continue
+		}
+		marks = append(marks, m)
+	}
+	bounds := make([]sim.Time, 0, len(marks)+1)
+	for _, m := range marks {
+		bounds = append(bounds, m.at)
+	}
+	if last := bounds[len(bounds)-1]; last < end {
+		bounds = append(bounds, end)
+	} else if len(bounds) < 2 {
+		return nil
+	}
+	wins := rec.RollupSLO(bounds, tbtSLO)
+	final := c.aggCache()
+	out := make([]Epoch, len(wins))
+	for i := range wins {
+		next := final
+		if i+1 < len(marks) {
+			next = marks[i+1].cache
+		}
+		prev := marks[i].cache
+		delta := kvcache.Stats{
+			HitTokens:  next.HitTokens - prev.HitTokens,
+			MissTokens: next.MissTokens - prev.MissTokens,
+		}
+		out[i] = Epoch{
+			From:       wins[i].From,
+			To:         wins[i].To,
+			Label:      marks[i].label,
+			Ready:      marks[i].ready,
+			Window:     wins[i],
+			Attainment: wins[i].Attainment(),
+			CacheHit:   delta.HitRate(),
+		}
+	}
+	return out
+}
+
 // Run replays the trace against a fresh fleet built from cfg. The run is
-// fully deterministic: arrivals, routing decisions and every replica's
-// engine all execute in one event loop keyed by (time, seq).
+// fully deterministic: arrivals, routing decisions, fleet lifecycle
+// events and every replica's engine all execute in one event loop keyed
+// by (time, seq).
 func Run(cfg Config, trace *workload.Trace) (Result, error) {
 	cfg.Base = cfg.Base.WithDefaults()
 	s := sim.New()
@@ -263,30 +723,38 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 
 	var lastArrival sim.Time
 	for _, r := range trace.Requests {
-		r := r
-		s.At(r.Arrival, func() { c.Submit(r) })
 		if r.Arrival > lastArrival {
 			lastArrival = r.Arrival
 		}
+	}
+	if cfg.Fleet != nil {
+		attachFleet(c, *cfg.Fleet, lastArrival)
+	}
+	for _, r := range trace.Requests {
+		r := r
+		s.At(r.Arrival, func() { c.Submit(r) })
 	}
 	// Fleet-level stability probe, mirroring serve.Run.
 	backlog := 0
 	s.At(lastArrival+30*sim.Second, func() { backlog = c.Unfinished() })
 	s.RunUntil(lastArrival + cfg.Base.Horizon)
 
-	res := Result{Router: c.Router.Name()}
+	res := Result{Router: c.Router.Name(), Failures: c.failures, Events: c.log, Unrouted: len(c.pending)}
 	recs := make([]*metrics.Recorder, 0, len(c.Replicas))
-	var cacheAgg kvcache.Stats
 	for _, rep := range c.Replicas {
-		rr := rep.Inst.Result(s.Now())
-		cs := rep.Inst.CacheStats()
-		cacheAgg.Lookups += cs.Lookups
-		cacheAgg.HitTokens += cs.HitTokens
-		cacheAgg.MissTokens += cs.MissTokens
+		rr := rep.result(s.Now())
+		hw := cfg.Base.Spec.Name
+		if rep.Spec.Hardware.Name != "" {
+			hw = rep.Spec.Hardware.Name
+		}
 		res.Replicas = append(res.Replicas, ReplicaResult{
 			Name:     rep.Name,
 			Engine:   rep.Spec.Engine,
+			Hardware: hw,
 			Role:     rep.Role,
+			State:    rep.State,
+			ReadyAt:  rep.ReadyAt,
+			DownAt:   rep.DownAt,
 			Requests: rep.Assigned(),
 			CacheHit: rr.CacheHit,
 			Result:   rr,
@@ -296,7 +764,8 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 	res.Rec = metrics.Merge(recs...)
 	res.Summary = res.Rec.Summarize("cluster/"+c.Router.Name(), s.Now())
 	serve.ApplyBacklog(&res.Summary, backlog)
-	res.CacheHit = cacheAgg.HitRate()
+	res.CacheHit = c.aggCache().HitRate()
+	res.Epochs = c.epochs(res.Rec, s.Now(), cfg.Base.SLO.TBT)
 	return res, nil
 }
 

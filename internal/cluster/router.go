@@ -10,9 +10,24 @@ import (
 // Router picks a replica for each arriving request. Pick is called from
 // inside the simulation in deterministic arrival order, so stateful
 // policies (cursors, session maps, prefix indexes) stay reproducible.
+//
+// With a lifecycle-managed fleet the candidate slice changes between
+// calls: replicas spawn, drain and fail mid-run, so policies must key
+// any internal state by Replica.ID (stable for the life of a run), never
+// by position in the slice, and must tolerate a remembered replica being
+// absent from the current candidates.
 type Router interface {
 	Name() string
 	Pick(r *workload.Request, fleet []*Replica) *Replica
+}
+
+// FleetObserver is implemented by routers that keep per-replica state.
+// The cluster calls ReplicaDown when a replica fails or retires so the
+// router can unpin its sessions and drop its prefix index — the KV held
+// there is gone, and the next turn of every affected session pays a full
+// re-prefill on whichever replica it re-sticks to.
+type FleetObserver interface {
+	ReplicaDown(id int)
 }
 
 // Policy constructs a fresh router. Routers keep per-run state, so every
@@ -150,20 +165,44 @@ func (ix *prefixIndex) add(pages []kvcache.PageID) {
 }
 
 // affinity is the shared session-stickiness + prefix-scoring machinery
-// used by the prefix-affinity and pd-split policies.
+// used by the prefix-affinity and pd-split policies. State is keyed by
+// replica ID, not slice position: the candidate set shrinks and grows as
+// the fleet controller mutates the fleet.
 type affinity struct {
 	sessions map[int]int // session -> replica ID
-	index    []*prefixIndex
+	index    map[int]*prefixIndex
 }
 
-func newAffinity() *affinity { return &affinity{sessions: map[int]int{}} }
+func newAffinity() *affinity {
+	return &affinity{sessions: map[int]int{}, index: map[int]*prefixIndex{}}
+}
 
-// sticky returns the replica currently owning the request's session.
+// sticky returns the replica currently owning the request's session, or
+// nil when the session is unknown or its holder is not in the candidate
+// set (starting, draining, failed, or retired).
 func (a *affinity) sticky(r *workload.Request, fleet []*Replica) *Replica {
-	if id, ok := a.sessions[r.Session]; ok && id < len(fleet) {
-		return fleet[id]
+	id, ok := a.sessions[r.Session]
+	if !ok {
+		return nil
+	}
+	for _, rep := range fleet {
+		if rep.ID == id {
+			return rep
+		}
 	}
 	return nil
+}
+
+// replicaDown forgets everything pinned to a dead replica: sessions
+// re-stick on their next turn (paying the KV re-prefill there), and the
+// prefix index stops advertising pages that no longer exist anywhere.
+func (a *affinity) replicaDown(id int) {
+	for session, rep := range a.sessions {
+		if rep == id {
+			delete(a.sessions, session)
+		}
+	}
+	delete(a.index, id)
 }
 
 // divert re-routes a request off its overloaded sticky replica: score
@@ -185,15 +224,12 @@ func (a *affinity) divert(r *workload.Request, fleet []*Replica, hot *Replica) *
 // score ranks candidates by matched prefix pages (radix-page hashes of
 // the trace), breaking ties toward the least-loaded replica.
 func (a *affinity) score(r *workload.Request, cands []*Replica) *Replica {
-	if a.index == nil {
-		return leastLoaded(cands)
-	}
 	var best *Replica
 	bestMatch := -1
 	for _, rep := range cands {
 		m := 0
-		if rep.ID < len(a.index) {
-			m = a.index[rep.ID].match(r.Pages)
+		if ix := a.index[rep.ID]; ix != nil {
+			m = ix.match(r.Pages)
 		}
 		switch {
 		case m > bestMatch:
@@ -207,17 +243,14 @@ func (a *affinity) score(r *workload.Request, cands []*Replica) *Replica {
 
 // record pins the session to the chosen replica and indexes the pages
 // its radix cache will publish.
-func (a *affinity) record(r *workload.Request, rep *Replica, fleet []*Replica) {
+func (a *affinity) record(r *workload.Request, rep *Replica) {
 	a.sessions[r.Session] = rep.ID
-	if a.index == nil {
-		a.index = make([]*prefixIndex, len(fleet))
-		for i := range a.index {
-			a.index[i] = newPrefixIndex()
-		}
+	ix := a.index[rep.ID]
+	if ix == nil {
+		ix = newPrefixIndex()
+		a.index[rep.ID] = ix
 	}
-	if rep.ID < len(a.index) {
-		a.index[rep.ID].add(r.AllPages)
-	}
+	ix.add(r.AllPages)
 }
 
 type prefixAffinity struct{ aff *affinity }
@@ -229,6 +262,9 @@ func PrefixAffinity() Router { return &prefixAffinity{aff: newAffinity()} }
 
 func (p *prefixAffinity) Name() string { return PrefixAffinityPolicy }
 
+// ReplicaDown implements FleetObserver.
+func (p *prefixAffinity) ReplicaDown(id int) { p.aff.replicaDown(id) }
+
 func (p *prefixAffinity) Pick(r *workload.Request, fleet []*Replica) *Replica {
 	rep := p.aff.sticky(r, fleet)
 	switch {
@@ -237,7 +273,7 @@ func (p *prefixAffinity) Pick(r *workload.Request, fleet []*Replica) *Replica {
 	case overloaded(rep, fleet):
 		rep = p.aff.divert(r, fleet, rep)
 	}
-	p.aff.record(r, rep, fleet)
+	p.aff.record(r, rep)
 	return rep
 }
 
@@ -269,6 +305,9 @@ func PDSplit(threshold int) Router {
 }
 
 func (p *pdSplit) Name() string { return PDSplitPolicy }
+
+// ReplicaDown implements FleetObserver.
+func (p *pdSplit) ReplicaDown(id int) { p.aff.replicaDown(id) }
 
 // byRole filters the fleet; an empty result falls back to the fleet.
 func byRole(fleet []*Replica, want func(Role) bool) []*Replica {
@@ -336,6 +375,6 @@ func (p *pdSplit) Pick(r *workload.Request, fleet []*Replica) *Replica {
 		pool := byRole(fleet, func(ro Role) bool { return ro != RolePrefill })
 		rep = leastLoaded(divertPool(pool, fleet, sticky))
 	}
-	p.aff.record(r, rep, fleet)
+	p.aff.record(r, rep)
 	return rep
 }

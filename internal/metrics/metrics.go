@@ -34,15 +34,29 @@ type reqRec struct {
 	done        bool
 }
 
+// tbtSample is one inter-token gap, tagged with the request that emitted
+// it and the emission time so windowed rollups and aborts can attribute
+// the sample.
+type tbtSample struct {
+	id int
+	at sim.Time
+	v  float64 // seconds
+}
+
 // Recorder collects latency samples during a simulation run.
 type Recorder struct {
 	reqs map[int]*reqRec
 	ids  []int // insertion order for deterministic iteration
 
-	tbt []float64 // seconds, all requests pooled
+	tbt []tbtSample // all requests pooled
 
 	prefillTokens int64
 	decodeTokens  int64
+
+	// halted freezes the recorder: a failed replica's engine keeps
+	// simulating its queued work (ghost events), but none of it may leak
+	// into the metrics after the failure instant.
+	halted bool
 
 	// OnFinish, when set, is invoked exactly once per request as it
 	// completes (cluster routers use it to track per-replica load).
@@ -56,6 +70,9 @@ func NewRecorder() *Recorder {
 
 // Arrive registers a request's arrival.
 func (r *Recorder) Arrive(id int, at sim.Time, inputTokens int) {
+	if r.halted {
+		return
+	}
 	if _, ok := r.reqs[id]; ok {
 		return
 	}
@@ -64,13 +81,18 @@ func (r *Recorder) Arrive(id int, at sim.Time, inputTokens int) {
 }
 
 // PrefillDone credits processed prefill tokens (throughput accounting).
-func (r *Recorder) PrefillDone(tokens int) { r.prefillTokens += int64(tokens) }
+func (r *Recorder) PrefillDone(tokens int) {
+	if r.halted {
+		return
+	}
+	r.prefillTokens += int64(tokens)
+}
 
 // Token records one generated token for the request. The first token
 // defines TTFT; subsequent tokens contribute TBT samples.
 func (r *Recorder) Token(id int, at sim.Time) {
 	rec, ok := r.reqs[id]
-	if !ok {
+	if !ok || r.halted {
 		return
 	}
 	rec.tokens++
@@ -78,13 +100,16 @@ func (r *Recorder) Token(id int, at sim.Time) {
 	if rec.firstToken < 0 {
 		rec.firstToken = at
 	} else {
-		r.tbt = append(r.tbt, (at - rec.lastToken).Seconds())
+		r.tbt = append(r.tbt, tbtSample{id: id, at: at, v: (at - rec.lastToken).Seconds()})
 	}
 	rec.lastToken = at
 }
 
 // Finish marks the request complete.
 func (r *Recorder) Finish(id int, at sim.Time) {
+	if r.halted {
+		return
+	}
 	if rec, ok := r.reqs[id]; ok && !rec.done {
 		rec.finished = at
 		rec.done = true
@@ -92,6 +117,64 @@ func (r *Recorder) Finish(id int, at sim.Time) {
 			r.OnFinish(id, at)
 		}
 	}
+}
+
+// Halt freezes the recorder at the current instant. Later Arrive, Token,
+// PrefillDone and Finish calls are ignored: a failed replica's engine
+// keeps dispatching its already-scheduled simulation events, and that
+// ghost work must not count. Abort still works on a halted recorder so
+// the fleet controller can surface in-flight requests for re-dispatch.
+func (r *Recorder) Halt() { r.halted = true }
+
+// Halted reports whether the recorder has been frozen.
+func (r *Recorder) Halted() bool { return r.halted }
+
+// Abort removes an unfinished request from the recorder as if it had
+// never arrived here, dropping its TBT samples, so the same request ID
+// can re-arrive on another replica's recorder (metrics.Merge requires
+// disjoint IDs). The re-prefill the request pays on its new replica is
+// charged through the cache-hit machinery, not here. Aborting a finished
+// or unknown request is a no-op; it reports whether a record was removed.
+func (r *Recorder) Abort(id int) bool {
+	rec, ok := r.reqs[id]
+	if !ok || rec.done {
+		return false
+	}
+	// Roll back the aborted request's decode tokens: its latency samples
+	// are withdrawn and the full output is re-credited wherever it
+	// re-dispatches. Prefill tokens stay — they are batch-level credits
+	// with no per-request attribution, and that work really ran here; the
+	// re-prefill on the new replica is counted again on purpose, as the
+	// failure's cost in fleet throughput.
+	r.decodeTokens -= int64(rec.tokens)
+	delete(r.reqs, id)
+	for i, v := range r.ids {
+		if v == id {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			break
+		}
+	}
+	kept := r.tbt[:0]
+	for _, s := range r.tbt {
+		if s.id != id {
+			kept = append(kept, s)
+		}
+	}
+	r.tbt = kept
+	return true
+}
+
+// OpenIDs returns the IDs of arrived-but-unfinished requests in arrival
+// order — the in-flight set a drain or failure must surface for
+// re-dispatch.
+func (r *Recorder) OpenIDs() []int {
+	var out []int
+	for _, id := range r.ids {
+		if !r.reqs[id].done {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Quantiles summarises a latency sample set in seconds.
@@ -178,8 +261,8 @@ func (r *Recorder) TBTAttainment(slo sim.Time) float64 {
 	}
 	target := slo.Seconds()
 	ok := 0
-	for _, v := range r.tbt {
-		if v <= target {
+	for _, s := range r.tbt {
+		if s.v <= target {
 			ok++
 		}
 	}
@@ -230,7 +313,7 @@ func (r *Recorder) Summarize(name string, now sim.Time) Summary {
 		}
 	}
 	s.TTFT = quantiles(ttft)
-	s.TBT = quantiles(r.tbt)
+	s.TBT = quantiles(r.TBTSamples())
 	s.TPOT = quantiles(tpot)
 	s.E2E = quantiles(e2e)
 	s.TTFTPerToken = quantiles(perTok)
@@ -259,7 +342,13 @@ func (r *Recorder) Unfinished() int {
 }
 
 // TBTSamples exposes raw TBT samples in seconds (CDF plotting).
-func (r *Recorder) TBTSamples() []float64 { return r.tbt }
+func (r *Recorder) TBTSamples() []float64 {
+	out := make([]float64, len(r.tbt))
+	for i, s := range r.tbt {
+		out[i] = s.v
+	}
+	return out
+}
 
 // TTFTPerTokenSamples returns TTFT/input-length for every started request.
 func (r *Recorder) TTFTPerTokenSamples() []float64 {

@@ -23,6 +23,8 @@ type Instance struct {
 	Env   *Env
 	Eng   Engine
 	Rec   *metrics.Recorder
+
+	halted bool
 }
 
 // NewInstance builds an engine inside the shared simulator s. The config
@@ -60,11 +62,41 @@ func (i *Instance) OnFinish(fn func(id int, at sim.Time)) {
 }
 
 // Submit records the request's arrival and delivers it to the engine.
-// It must be called from inside the simulation at the arrival time.
+// It must be called from inside the simulation at the arrival time (or
+// later, when a fleet controller re-dispatches a request off a failed
+// replica: the recorder keeps the original arrival, so the failover
+// latency shows up in TTFT).
 func (i *Instance) Submit(r *workload.Request) {
+	if i.halted {
+		return
+	}
 	i.Rec.Arrive(r.ID, r.Arrival, r.InputTokens)
 	i.Eng.Submit(r)
 }
+
+// Open returns the IDs of in-flight (arrived, unfinished) requests in
+// arrival order — what a drain or failure must surface for re-dispatch.
+func (i *Instance) Open() []int { return i.Rec.OpenIDs() }
+
+// Halt freezes the instance at the current instant: the recorder stops
+// accepting samples and Submit becomes a no-op. The engine's already
+// scheduled simulation events still fire (there is no way to revoke a
+// crashed replica's pending callbacks without every engine's
+// cooperation), but none of that ghost work can reach the metrics. The
+// caller snapshots Result and CacheStats at the halt instant; later
+// reads of either would include ghost activity.
+func (i *Instance) Halt() { i.halted = true; i.Rec.Halt() }
+
+// Halted reports whether the instance has been halted.
+func (i *Instance) Halted() bool { return i.halted }
+
+// Abort withdraws one in-flight request from the instance's metrics so
+// it can be re-dispatched to another replica under the same ID. The
+// engine keeps simulating the request (its KV stays until completion
+// publishes or eviction reclaims it), but tokens it emits after the
+// abort are discarded by the recorder. Reports whether an in-flight
+// record was removed.
+func (i *Instance) Abort(id int) bool { return i.Rec.Abort(id) }
 
 // CacheStats aggregates cache statistics across the engine's pools; it
 // returns zeros when the engine exposes none.

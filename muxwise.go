@@ -212,11 +212,17 @@ func Sweep(engine string, dep Deployment, mkTrace func(rate float64) *Trace, rat
 
 // Cluster types re-exported from internal/cluster.
 type (
-	// ClusterResult aggregates a fleet run: the merged fleet summary
-	// plus per-replica rollups.
+	// ClusterResult aggregates a fleet run: the merged fleet summary,
+	// per-replica rollups, and — for lifecycle-managed fleets — the
+	// per-epoch rollups and the fleet event log.
 	ClusterResult = cluster.Result
 	// ClusterReplicaResult is one replica's rollup in a ClusterResult.
 	ClusterReplicaResult = cluster.ReplicaResult
+	// ClusterEpoch is one fleet epoch's rollup (the interval between
+	// consecutive fleet mutations).
+	ClusterEpoch = cluster.Epoch
+	// FleetLogEntry is one timestamped fleet lifecycle message.
+	FleetLogEntry = cluster.LogEntry
 )
 
 // ReplicaSpec describes one shape of replica in a ClusterDeployment.
@@ -227,9 +233,135 @@ type ReplicaSpec struct {
 	Count int
 	// GPUs overrides the deployment's per-replica device count.
 	GPUs int
+	// Hardware overrides the deployment's GPU spec for this shape
+	// ("A100", "H100", "H200"); empty inherits the deployment. Mixing
+	// shapes builds a heterogeneous fleet, each replica costed by its
+	// own hardware model.
+	Hardware string
 	// Role is "", "general", "prefill", or "decode"; the pd-split
 	// router steers long-prefill requests to prefill-role replicas.
 	Role string
+}
+
+// spec resolves the public replica spec against the engine and hardware
+// registries.
+func (rs ReplicaSpec) spec() (cluster.ReplicaSpec, error) {
+	f, err := factory(rs.Engine)
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	role, err := cluster.ParseRole(rs.Role)
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	out := cluster.ReplicaSpec{
+		Engine: rs.Engine, Factory: f, Count: rs.Count, GPUs: rs.GPUs, Role: role,
+	}
+	if rs.Hardware != "" {
+		spec, ok := gpu.SpecByName(rs.Hardware)
+		if !ok {
+			return cluster.ReplicaSpec{}, fmt.Errorf("muxwise: unknown hardware %q", rs.Hardware)
+		}
+		out.Hardware = spec
+	}
+	return out, nil
+}
+
+// FleetEvent schedules one fleet lifecycle transition inside a cluster
+// run's deterministic event loop.
+type FleetEvent struct {
+	// At is when the event applies.
+	At Time
+	// Kind is "spawn", "drain", "fail", "retire", or "mark" (an epoch
+	// boundary with no fleet change, for aligning reports across runs).
+	Kind string
+	// Replica targets drain/fail/retire by ID: replicas are numbered in
+	// spawn order, the initial fleet first.
+	Replica int
+	// Spec is the shape a spawn adds; nil borrows the first configured
+	// replica shape.
+	Spec *ReplicaSpec
+	// ColdStart overrides the fleet-wide spawn-to-ready delay for this
+	// spawn (zero means the FleetOptions default).
+	ColdStart Time
+}
+
+// FleetOptions attaches lifecycle events and autoscaling to a
+// ClusterDeployment.
+type FleetOptions struct {
+	// Events are scheduled fleet transitions.
+	Events []FleetEvent
+	// Autoscaler is "", "backlog", or "ttft".
+	Autoscaler string
+	// TargetTTFT is the "ttft" autoscaler's P99 target (default 1 s).
+	TargetTTFT Time
+	// Cadence is the autoscaler observation interval (default 5 s).
+	Cadence Time
+	// ColdStart is the spawn-to-ready delay (default 15 s).
+	ColdStart Time
+	// Spawn is the shape the autoscaler adds; nil borrows the first
+	// configured replica shape.
+	Spawn *ReplicaSpec
+	// MinReplicas and MaxReplicas bound the autoscaler (defaults 1, 64).
+	MinReplicas, MaxReplicas int
+}
+
+// AutoscalerPolicies lists the built-in autoscaler names.
+func AutoscalerPolicies() []string { return []string{"backlog", "ttft"} }
+
+// fleetConfig resolves the public fleet options.
+func (fo *FleetOptions) fleetConfig() (*cluster.FleetConfig, error) {
+	if fo == nil {
+		return nil, nil
+	}
+	fc := &cluster.FleetConfig{
+		Cadence:   fo.Cadence,
+		ColdStart: fo.ColdStart,
+		Min:       fo.MinReplicas,
+		Max:       fo.MaxReplicas,
+	}
+	switch fo.Autoscaler {
+	case "":
+	case "backlog":
+		fc.Scaler = cluster.BacklogScaler{}
+	case "ttft":
+		fc.Scaler = cluster.TTFTScaler{Target: fo.TargetTTFT}
+	default:
+		return nil, fmt.Errorf("muxwise: unknown autoscaler %q (have %v)", fo.Autoscaler, AutoscalerPolicies())
+	}
+	if fo.Spawn != nil {
+		spec, err := fo.Spawn.spec()
+		if err != nil {
+			return nil, err
+		}
+		fc.Spawn = spec
+	}
+	for _, ev := range fo.Events {
+		out := cluster.FleetEvent{At: ev.At, Replica: ev.Replica, ColdStart: ev.ColdStart}
+		switch ev.Kind {
+		case "spawn":
+			out.Kind = cluster.SpawnReplica
+		case "drain":
+			out.Kind = cluster.DrainReplica
+		case "fail":
+			out.Kind = cluster.FailReplica
+		case "retire":
+			out.Kind = cluster.RetireReplica
+		case "mark":
+			out.Kind = cluster.MarkEpoch
+		default:
+			return nil, fmt.Errorf("muxwise: unknown fleet event kind %q (want spawn, drain, fail, retire, mark)", ev.Kind)
+		}
+		if ev.Spec != nil {
+			spec, err := ev.Spec.spec()
+			if err != nil {
+				return nil, err
+			}
+			out.Spec = spec
+		}
+		fc.Events = append(fc.Events, out)
+	}
+	return fc, nil
 }
 
 // ClusterDeployment describes a replica fleet behind a request router.
@@ -242,6 +374,10 @@ type ClusterDeployment struct {
 	// Router names the policy, see RouterPolicies(). Empty selects
 	// prefix-affinity (the EPP-style default).
 	Router string
+	// Fleet optionally scripts lifecycle events (spawn with cold start,
+	// drain, fail, retire) and attaches an autoscaler. Nil keeps the
+	// fleet fixed for the whole run.
+	Fleet *FleetOptions
 }
 
 // RouterPolicies lists the available cluster router policies.
@@ -263,17 +399,15 @@ func (d ClusterDeployment) config() (cluster.Config, error) {
 	}
 	cfg := cluster.Config{Base: base, Policy: policy}
 	for _, rs := range d.Replicas {
-		f, err := factory(rs.Engine)
+		spec, err := rs.spec()
 		if err != nil {
 			return cluster.Config{}, err
 		}
-		role, err := cluster.ParseRole(rs.Role)
-		if err != nil {
-			return cluster.Config{}, err
-		}
-		cfg.Replicas = append(cfg.Replicas, cluster.ReplicaSpec{
-			Engine: rs.Engine, Factory: f, Count: rs.Count, GPUs: rs.GPUs, Role: role,
-		})
+		cfg.Replicas = append(cfg.Replicas, spec)
+	}
+	cfg.Fleet, err = d.Fleet.fleetConfig()
+	if err != nil {
+		return cluster.Config{}, err
 	}
 	return cfg, nil
 }

@@ -58,6 +58,61 @@ func TestServeClusterErrors(t *testing.T) {
 	}
 }
 
+func TestFleetLifecycleAPI(t *testing.T) {
+	tr := clusterTrace()
+	dep := fleet("prefix-affinity")
+	dep.Fleet = &muxwise.FleetOptions{
+		Events: []muxwise.FleetEvent{
+			{At: 30 * muxwise.Second, Kind: "fail", Replica: 0},
+			{At: 60 * muxwise.Second, Kind: "spawn",
+				Spec: &muxwise.ReplicaSpec{Engine: "MuxWise", Hardware: "H100"}},
+		},
+		ColdStart: 10 * muxwise.Second,
+	}
+	res, err := muxwise.ServeCluster(dep, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	if len(res.Replicas) != 5 {
+		t.Fatalf("%d replicas, want 5 (4 initial + 1 spawned)", len(res.Replicas))
+	}
+	if res.Replicas[0].State.String() != "failed" {
+		t.Fatalf("replica 0 state %v, want failed", res.Replicas[0].State)
+	}
+	spawned := res.Replicas[4]
+	if spawned.Hardware != "H100-80G" || spawned.ReadyAt != 70*muxwise.Second {
+		t.Fatalf("spawned replica hw %q ready at %v, want H100-80G at 70s", spawned.Hardware, spawned.ReadyAt)
+	}
+	if len(res.Epochs) < 3 || len(res.Events) == 0 {
+		t.Fatalf("epochs %d, events %d; want the lifecycle reported", len(res.Epochs), len(res.Events))
+	}
+	if res.Summary.Finished != tr.Len() {
+		t.Fatalf("finished %d of %d", res.Summary.Finished, tr.Len())
+	}
+}
+
+func TestFleetOptionsErrors(t *testing.T) {
+	tr := muxwise.ShareGPT(1, 5).WithPoissonArrivals(1, 1)
+	bad := fleet("round-robin")
+	bad.Fleet = &muxwise.FleetOptions{Autoscaler: "magic"}
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown autoscaler should error")
+	}
+	bad = fleet("round-robin")
+	bad.Fleet = &muxwise.FleetOptions{Events: []muxwise.FleetEvent{{Kind: "explode"}}}
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown event kind should error")
+	}
+	bad = fleet("round-robin")
+	bad.Replicas[0].Hardware = "TPU"
+	if _, err := muxwise.ServeCluster(bad, tr); err == nil {
+		t.Error("unknown hardware should error")
+	}
+}
+
 func TestClusterSweepAPI(t *testing.T) {
 	mk := func(rate float64) *muxwise.Trace {
 		return muxwise.ShareGPT(6, 60).WithPoissonArrivals(6, rate)
