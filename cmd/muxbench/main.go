@@ -8,6 +8,7 @@
 //	muxbench -run all              # everything (minutes)
 //	muxbench -run fig15 -quick     # reduced scale
 //	muxbench -run fig15 -json      # machine-readable tables
+//	muxbench -run routers          # fleet router goodput (beyond the paper)
 package main
 
 import (

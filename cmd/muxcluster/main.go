@@ -6,6 +6,8 @@
 //	muxcluster -scenario failure -fail-at 1m
 //	muxcluster -scenario autoscale -min-replicas 1 -max-replicas 6
 //	muxcluster -scenario hetero
+//	muxcluster -replicas 1xMuxWise/A100,1xMuxWise/H100 -router all \
+//	           -workload conversation -goodput 2:16
 //
 // The -replicas grammar is COUNTxENGINE[:ROLE][@GPUS][/HW],
 // comma-separated: "2xSGLang-PD:prefill@2/H100" runs two SGLang-PD
@@ -22,6 +24,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -109,11 +112,7 @@ func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
 func buildTrace(wl string, seed uint64, n int, scale, rate float64) (*muxwise.Trace, error) {
 	switch strings.ToLower(wl) {
 	case "mixed":
-		conv := muxwise.Conversation(seed, n).
-			WithProfileArrivals(seed, muxwise.ConversationProfile(scale))
-		tool := muxwise.ToolAgent(seed+1, n).
-			WithProfileArrivals(seed+1, muxwise.ToolAgentProfile(scale))
-		return muxwise.MixTraces("Conversation+Tool&Agent", conv, tool), nil
+		return muxwise.MixedBursty(seed, n, scale), nil
 	case "conversation":
 		return muxwise.Conversation(seed, n).
 			WithProfileArrivals(seed, muxwise.ConversationProfile(scale)), nil
@@ -258,6 +257,83 @@ func rowOf(name string, res muxwise.ClusterResult, tbtSLO muxwise.Time) routerRo
 	return row
 }
 
+// goodputRow is the JSON record for one router's goodput search.
+type goodputRow struct {
+	Router   string
+	Goodput  float64
+	Feasible bool
+}
+
+// runGoodput searches the highest sustainable load per router — rate
+// for Poisson workloads, Fig. 13 burst scale for profile workloads —
+// and prints one row per policy (JSON with -json).
+func runGoodput(rng string, routers []string, specs []muxwise.ReplicaSpec, sc scenarioOpts,
+	hw string, gpus int, mdl string, slo muxwise.SLO, specFlagSet bool,
+	wl string, seed uint64, n int, asJSON bool) error {
+	loS, hiS, ok := strings.Cut(rng, ":")
+	if !ok {
+		return fmt.Errorf("bad -goodput range %q (want LO:HI)", rng)
+	}
+	lo, err1 := strconv.ParseFloat(loS, 64)
+	hi, err2 := strconv.ParseFloat(hiS, 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("bad -goodput range %q (want LO:HI)", rng)
+	}
+	var rows []goodputRow
+	if !asJSON {
+		fmt.Printf("searching goodput in [%g, %g] on %s…\n", lo, hi, wl)
+		fmt.Printf("%-16s %10s\n", "router", "goodput")
+	}
+	for _, name := range routers {
+		dep := muxwise.ClusterDeployment{
+			Deployment: muxwise.Deployment{Hardware: hw, GPUs: gpus, Model: mdl, SLO: slo},
+			Replicas:   append([]muxwise.ReplicaSpec(nil), specs...),
+			Router:     name,
+		}
+		if err := applyScenario(&dep, specFlagSet, sc); err != nil {
+			return err
+		}
+		opts := []muxwise.Option{
+			muxwise.WithDeployment(dep.Deployment),
+			muxwise.WithFleet(dep.Replicas...),
+			muxwise.WithRouter(dep.Router),
+			// The parameter doubles as Poisson rate and profile scale:
+			// buildTrace reads whichever slot the workload uses.
+			muxwise.WithWorkload(func(x float64) *muxwise.Trace {
+				t, err := buildTrace(wl, seed, n, x, x)
+				if err != nil {
+					panic(err)
+				}
+				return t
+			}),
+		}
+		if dep.Fleet != nil {
+			opts = append(opts, muxwise.WithFleetOptions(*dep.Fleet))
+		}
+		g, err := muxwise.NewExperiment(opts...).Goodput(lo, hi)
+		switch {
+		case errors.Is(err, muxwise.ErrNoFeasibleRate):
+			rows = append(rows, goodputRow{Router: name})
+			if !asJSON {
+				fmt.Printf("%-16s %10s\n", name, "n/a (floor rate misses the SLO)")
+			}
+		case err != nil:
+			return err
+		default:
+			rows = append(rows, goodputRow{Router: name, Goodput: g, Feasible: true})
+			if !asJSON {
+				fmt.Printf("%-16s %10.3f\n", name, g)
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	return nil
+}
+
 func main() {
 	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS][/HW],...")
 	router := flag.String("router", "prefix-affinity",
@@ -279,6 +355,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	ttft := flag.Duration("ttft", time.Second, "TTFT SLO")
 	tbt := flag.Duration("tbt", 50*time.Millisecond, "TBT SLO")
+	goodput := flag.String("goodput", "",
+		"search fleet goodput over LO:HI instead of one run (req/s for Poisson workloads, burst scale for profile workloads)")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	flag.Parse()
 
@@ -286,11 +364,6 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "muxcluster: %v\n\n%s\n", err, replicasGrammar)
 		os.Exit(2)
-	}
-	trace, err := buildTrace(*wl, *seed, *n, *scale, *rate)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	routers := []string{*router}
@@ -305,6 +378,26 @@ func main() {
 			specFlagSet = true
 		}
 	})
+
+	if *goodput != "" {
+		// Goodput mode builds its own traces per probe; the single
+		// default trace below is never used.
+		if err := runGoodput(*goodput, routers, specs, scenarioOpts{
+			name: *scenario, failAt: *failAt, minReps: *minReps, maxReps: *maxReps,
+			coldStart: *coldStart, autoscaler: *autoscaler,
+		}, *hw, *gpus, *mdl, slo, specFlagSet, *wl, *seed, *n, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "muxcluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	trace, err := buildTrace(*wl, *seed, *n, *scale, *rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	var rows []routerRow
 	for _, name := range routers {
 		dep := muxwise.ClusterDeployment{
@@ -319,12 +412,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "muxcluster:", err)
 			os.Exit(2)
 		}
-		res, err := muxwise.ServeCluster(dep, trace)
+		opts := []muxwise.Option{
+			muxwise.WithDeployment(dep.Deployment),
+			muxwise.WithFleet(dep.Replicas...),
+			muxwise.WithRouter(dep.Router),
+		}
+		if dep.Fleet != nil {
+			opts = append(opts, muxwise.WithFleetOptions(*dep.Fleet))
+		}
+		report, err := muxwise.NewExperiment(opts...).Run(trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rows = append(rows, rowOf(name, res, slo.TBT))
+		rows = append(rows, rowOf(name, *report.Fleet, slo.TBT))
 	}
 
 	if *asJSON {

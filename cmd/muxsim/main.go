@@ -71,7 +71,11 @@ func main() {
 		},
 	}
 
-	res, err := muxwise.Serve(*engine, dep, trace)
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(dep),
+		muxwise.WithEngine(*engine),
+	)
+	report, err := exp.Run(trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -88,9 +92,9 @@ func main() {
 		Engine:     *engine,
 		Workload:   *wl,
 		Rate:       *rate,
-		Summary:    res.Summary,
-		Attainment: res.Rec.TBTAttainment(dep.SLO.TBT),
-		MeanUtil:   res.MeanUtil(),
+		Summary:    report.Summary,
+		Attainment: report.Attainment,
+		MeanUtil:   report.Engine.MeanUtil(),
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,92 @@
+package muxwise_test
+
+import (
+	"fmt"
+	"sync"
+
+	"muxwise"
+)
+
+// ExampleExperiment_Run serves a ShareGPT trace with the MuxWise engine
+// on a simulated 8×A100 server.
+func ExampleExperiment_Run() {
+	trace := muxwise.ShareGPT(1, 80).WithPoissonArrivals(1, 2)
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: "A100", GPUs: 8, Model: "Llama-8B"}),
+		muxwise.WithEngine("MuxWise"),
+	)
+	report, err := exp.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("finished %d/%d requests\n", report.Summary.Finished, report.Summary.Requests)
+	fmt.Printf("meets the TBT SLO: %v\n", report.Attainment >= 0.99)
+	// Output:
+	// finished 80/80 requests
+	// meets the TBT SLO: true
+}
+
+// ExampleExperiment_Sweep probes two offered rates with the workload
+// generator configured on the experiment.
+func ExampleExperiment_Sweep() {
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: "A100", GPUs: 8, Model: "Llama-8B"}),
+		muxwise.WithEngine("MuxWise"),
+		muxwise.WithWorkload(func(rate float64) *muxwise.Trace {
+			return muxwise.ShareGPT(7, 60).WithPoissonArrivals(7, rate)
+		}),
+	)
+	pts, err := exp.Sweep(0.5, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%.1f req/s sustained: %v\n", p.Rate, !p.Unstable && p.Attainment >= 0.99)
+	}
+	// Output:
+	// 0.5 req/s sustained: true
+	// 1.0 req/s sustained: true
+}
+
+// sessionHash is a user-defined router: it spreads sessions across the
+// fleet by session ID, keeping multi-turn requests together without any
+// load awareness.
+type sessionHash struct{}
+
+func (sessionHash) Name() string { return "session-hash" }
+
+func (sessionHash) Pick(r *muxwise.Request, view muxwise.FleetView) *muxwise.FleetReplica {
+	return view.Candidates[r.Session%len(view.Candidates)]
+}
+
+// sessionHashOnce guards registration: the registry is process-global
+// and rejects duplicates, so repeated in-process runs (go test -count=2)
+// must register only once.
+var sessionHashOnce sync.Once
+
+// ExampleRegisterRouter registers a custom routing policy and drives a
+// replica fleet with it, end to end.
+func ExampleRegisterRouter() {
+	sessionHashOnce.Do(func() {
+		if err := muxwise.RegisterRouter("session-hash", func() muxwise.Router { return sessionHash{} }); err != nil {
+			panic(err)
+		}
+	})
+	trace := muxwise.Conversation(3, 30).WithPoissonArrivals(3, 2)
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: "A100", GPUs: 1, Model: "Llama-8B"}),
+		muxwise.WithFleet(muxwise.ReplicaSpec{Engine: "MuxWise", Count: 3}),
+		muxwise.WithRouter("session-hash"),
+	)
+	report, err := exp.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("routed the whole trace: %v\n", report.Summary.Requests == trace.Len())
+	fmt.Printf("replicas used: %d\n", len(report.Fleet.Replicas))
+	fmt.Printf("all finished: %v\n", report.Summary.Finished == report.Summary.Requests)
+	// Output:
+	// routed the whole trace: true
+	// replicas used: 3
+	// all finished: true
+}

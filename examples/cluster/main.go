@@ -21,39 +21,36 @@ import (
 
 func main() {
 	// Mixed bursty traffic: both Fig. 13 profiles interleaved.
-	mk := func() *muxwise.Trace {
-		conv := muxwise.Conversation(21, 60).
-			WithProfileArrivals(21, muxwise.ConversationProfile(0.25))
-		tool := muxwise.ToolAgent(22, 60).
-			WithProfileArrivals(22, muxwise.ToolAgentProfile(0.25))
-		return muxwise.MixTraces("Conversation+Tool&Agent", conv, tool)
-	}
+	mk := func() *muxwise.Trace { return muxwise.MixedBursty(21, 60, 0.25) }
 
 	base := muxwise.Deployment{
 		Hardware: "A100", GPUs: 1, Model: "Llama-8B",
 		SLO: muxwise.SLO{TTFT: muxwise.Second, TBT: 50 * muxwise.Millisecond},
 	}
-	replicas := []muxwise.ReplicaSpec{
-		{Engine: "MuxWise", Count: 6},
-		{Engine: "SGLang-PD", Count: 2, GPUs: 2, Role: "prefill"},
-	}
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(base),
+		muxwise.WithFleet(
+			muxwise.ReplicaSpec{Engine: "MuxWise", Count: 6},
+			muxwise.ReplicaSpec{Engine: "SGLang-PD", Count: 2, GPUs: 2, Role: "prefill"},
+		),
+	)
 
 	fmt.Printf("fleet: 6×MuxWise + 2×SGLang-PD(prefill), %d requests of mixed bursty traffic\n\n", mk().Len())
 	fmt.Printf("%-16s %9s %9s %8s %8s\n", "router", "p99TTFT", "p99TBT", "attain%", "cache%")
 
 	hits := map[string]float64{}
 	for _, router := range muxwise.RouterPolicies() {
-		dep := muxwise.ClusterDeployment{Deployment: base, Replicas: replicas, Router: router}
-		res, err := muxwise.ServeCluster(dep, mk())
+		report, err := exp.With(muxwise.WithRouter(router)).Run(mk())
 		if err != nil {
 			panic(err)
 		}
+		res := report.Fleet
 		hits[router] = res.CacheHit
 		fmt.Printf("%-16s %8.2fs %7.1fms %8.1f %8.1f\n",
 			router,
 			res.Summary.TTFT.P99,
 			res.Summary.TBT.P99*1e3,
-			res.Rec.TBTAttainment(base.SLO.TBT)*100,
+			report.Attainment*100,
 			res.CacheHit*100)
 	}
 
@@ -72,16 +69,14 @@ func main() {
 	mid := trace.Requests[len(trace.Requests)*55/100].Arrival
 
 	run := func(events ...muxwise.FleetEvent) muxwise.ClusterResult {
-		res, err := muxwise.ServeCluster(muxwise.ClusterDeployment{
-			Deployment: base,
-			Replicas:   replicas,
-			Router:     "prefix-affinity",
-			Fleet:      &muxwise.FleetOptions{Events: events},
-		}, mk())
+		report, err := exp.With(
+			muxwise.WithRouter("prefix-affinity"),
+			muxwise.WithEvents(events...),
+		).Run(mk())
 		if err != nil {
 			panic(err)
 		}
-		return res
+		return *report.Fleet
 	}
 	healthy := run(muxwise.FleetEvent{At: mid, Kind: "mark"})
 	failed := run(muxwise.FleetEvent{At: mid, Kind: "fail", Replica: 0})

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"muxwise"
@@ -18,16 +19,21 @@ func main() {
 		Model:    "Llama-70B",
 		SLO:      muxwise.SLO{TTFT: muxwise.Second, TBT: 100 * muxwise.Millisecond},
 	}
-	mk := func(rate float64) *muxwise.Trace {
-		return muxwise.ToolAgent(11, 300).WithPoissonArrivals(11+uint64(rate*1000), rate)
-	}
+	base := muxwise.NewExperiment(
+		muxwise.WithDeployment(dep),
+		muxwise.WithWorkload(func(rate float64) *muxwise.Trace {
+			return muxwise.ToolAgent(11, 300).WithPoissonArrivals(11+uint64(rate*1000), rate)
+		}),
+	)
 
 	fmt.Println("searching goodput in [0.05, 0.8] req/s on Tool&Agent…")
 	results := map[string]float64{}
 	systems := []string{"MuxWise", "Chunked", "LoongServe", "SGLang-PD"}
 	for _, engine := range systems {
-		g, err := muxwise.Goodput(engine, dep, mk, 0.05, 0.8)
-		if err != nil {
+		g, err := base.With(muxwise.WithEngine(engine)).Goodput(0.05, 0.8)
+		if errors.Is(err, muxwise.ErrNoFeasibleRate) {
+			g = 0 // distinguished from a real error: the range is just too fast
+		} else if err != nil {
 			panic(err)
 		}
 		results[engine] = g

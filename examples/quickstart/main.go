@@ -24,19 +24,23 @@ func main() {
 		},
 	}
 
-	res, err := muxwise.Serve("MuxWise", dep, trace)
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(dep),
+		muxwise.WithEngine("MuxWise"),
+	)
+	report, err := exp.Run(trace)
 	if err != nil {
 		panic(err)
 	}
 
-	s := res.Summary
+	s := report.Summary
 	fmt.Printf("served %d requests in %.1fs of simulated time\n", s.Finished, s.Makespan.Seconds())
 	fmt.Printf("TTFT  %s\n", s.TTFT)
 	fmt.Printf("TBT   %s\n", s.TBT)
 	fmt.Printf("TPOT  %s\n", s.TPOT)
 	fmt.Printf("E2E   %s\n", s.E2E)
 	fmt.Printf("throughput %.0f tokens/s, TBT SLO attainment %.2f%%\n",
-		s.TokensPerSecond, res.Rec.TBTAttainment(dep.SLO.TBT)*100)
+		s.TokensPerSecond, report.Attainment*100)
 	fmt.Printf("partition reconfigurations: %d (%d distinct splits)\n",
-		res.Timeline.Changes(), res.Timeline.DistinctConfigs())
+		report.Engine.Timeline.Changes(), report.Engine.Timeline.DistinctConfigs())
 }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// coldReq builds a cold single-turn request with a distinct session, so
+// stickiness never masks the scoring decision under test.
+func coldReq(n int) *workload.Request {
+	return &workload.Request{ID: n, Session: 1000 + n,
+		InputTokens: 800, OutputTokens: 64,
+		Pages: pdPages(uint64(200+n), 800), AllPages: pdPages(uint64(200+n), 864)}
+}
+
+func TestAdaptiveTTFTFollowsObservedLatency(t *testing.T) {
+	fleet := bareFleet(RoleGeneral, RoleGeneral)
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+
+	// Replica 0 has been slow, replica 1 fast: cold traffic must go to 1.
+	for i := 0; i < 5; i++ {
+		r.ObserveTTFT(0, 2*sim.Second)
+		r.ObserveTTFT(1, 50*sim.Millisecond)
+	}
+	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[1] {
+		t.Fatalf("cold request routed to %s, want the learned-fast replica", got.Name)
+	}
+
+	// The fast replica's advantage shrinks as its queue grows: pile
+	// enough outstanding work on it and the slow-but-idle replica wins.
+	fleet[1].outTokens = 1 << 20
+	if got := r.Pick(coldReq(1), view(fleet)); got != fleet[0] {
+		t.Fatal("load inflation should overcome a stale fast EWMA")
+	}
+}
+
+func TestAdaptiveTTFTExploresUnseenReplicas(t *testing.T) {
+	fleet := bareFleet(RoleGeneral, RoleGeneral)
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+	// Only replica 0 has ever been observed, and it was fast — but the
+	// never-observed replica 1 scores at the floor and must be explored.
+	r.ObserveTTFT(0, 100*sim.Millisecond)
+	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[1] {
+		t.Fatal("unseen replica should be explored before trusting the ranking")
+	}
+}
+
+func TestAdaptiveTTFTSticksAndObservesDown(t *testing.T) {
+	fleet := bareFleet(RoleGeneral, RoleGeneral, RoleGeneral)
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+	turn := func(n int) *workload.Request {
+		return &workload.Request{ID: n, Session: 7, Turn: n,
+			InputTokens: 1000, OutputTokens: 100,
+			Pages: pdPages(42, 1000), AllPages: pdPages(42, 1100)}
+	}
+	home := r.Pick(turn(0), view(fleet))
+	if r.Pick(turn(1), view(fleet)) != home {
+		t.Fatal("session should stay sticky while the replica is healthy")
+	}
+	// Make the home replica's learned latency terrible: stickiness must
+	// still hold — only overload breaks affinity, not a bad EWMA.
+	r.ObserveTTFT(home.ID, 30*sim.Second)
+	if r.Pick(turn(2), view(fleet)) != home {
+		t.Fatal("a slow EWMA alone must not move a healthy session")
+	}
+	// Overloading the holder diverts the session off it.
+	home.outTokens = 1 << 20
+	if got := r.Pick(turn(3), view(fleet)); got == home {
+		t.Fatal("overloaded sticky replica must shed the session")
+	}
+	// ReplicaDown forgets both the sessions and the learned latency.
+	r.ReplicaDown(home.ID)
+	if _, ok := r.ewma[home.ID]; ok {
+		t.Fatal("ReplicaDown should drop the dead replica's EWMA")
+	}
+}

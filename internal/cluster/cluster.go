@@ -348,6 +348,11 @@ func (c *Cluster) addReplica(spec ReplicaSpec) *Replica {
 			c.retireDrained(rep)
 		}
 	})
+	if obs, ok := c.Router.(TTFTObserver); ok {
+		rep.Inst.OnFirstToken(func(id int, ttft sim.Time) {
+			obs.ObserveTTFT(rep.ID, ttft)
+		})
+	}
 	c.Replicas = append(c.Replicas, rep)
 	return rep
 }
@@ -425,7 +430,7 @@ func (c *Cluster) Submit(r *workload.Request) *Replica {
 		c.pending = append(c.pending, r)
 		return nil
 	}
-	rep := c.Router.Pick(r, cands)
+	rep := c.Router.Pick(r, FleetView{Now: c.Sim.Now(), Candidates: cands, c: c})
 	if rep == nil || !rep.routable() {
 		rep = cands[0]
 	}
@@ -582,6 +587,24 @@ func (c *Cluster) TTFTTail(from sim.Time) metrics.Quantiles {
 		samples = append(samples, rep.Inst.Rec.TTFTSamplesSince(from)...)
 	}
 	return metrics.QuantilesOf(samples)
+}
+
+// Snapshot assembles the trailing-window metrics view routers and
+// autoscalers observe: first-token latencies emitted inside the window
+// plus the current fleet-wide backlog. A window of zero (or one reaching
+// past the start) opens the window at time zero.
+func (c *Cluster) Snapshot(window sim.Time) metrics.Snapshot {
+	now := c.Sim.Now()
+	from := now - window
+	if window <= 0 || from < 0 {
+		from = 0
+	}
+	return metrics.Snapshot{
+		From:    from,
+		To:      now,
+		TTFT:    c.TTFTTail(from),
+		Backlog: c.Unfinished(),
+	}
 }
 
 // ReplicaResult is the per-replica rollup of a cluster run.
@@ -821,15 +844,17 @@ func Sweep(cfg Config, mkTrace func(rate float64) *workload.Trace, rates []float
 }
 
 // Goodput finds the highest request rate within [lo, hi] at which the
-// fleet sustains the §4 goodput criterion on the merged metrics.
-func Goodput(cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) (float64, error) {
+// fleet sustains the §4 goodput criterion on the merged metrics. The
+// second result reports feasibility: false means no rate in the range
+// met the criterion (as opposed to a goodput of 0 req/s).
+func Goodput(cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) (float64, bool, error) {
 	if err := validate(cfg); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	probe, errOf := probeFn(cfg, mkTrace)
-	g := serve.GoodputBy(probe, lo, hi)
+	g, ok := serve.GoodputBy(probe, lo, hi)
 	if err := errOf(); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	return g, nil
+	return g, ok, nil
 }

@@ -284,6 +284,9 @@ func bareFleet(roles ...Role) []*Replica {
 	return fleet
 }
 
+// view wraps a bare fleet in the read-only context Pick receives.
+func view(fleet []*Replica) FleetView { return FleetView{Candidates: fleet} }
+
 func TestAffinityDivertsOffOverloadedReplica(t *testing.T) {
 	fleet := bareFleet(RoleGeneral, RoleGeneral, RoleGeneral)
 	router := PrefixAffinity()
@@ -292,14 +295,14 @@ func TestAffinityDivertsOffOverloadedReplica(t *testing.T) {
 			InputTokens: 1000, OutputTokens: 100,
 			Pages: pdPages(42, 1000), AllPages: pdPages(42, 1100)}
 	}
-	home := router.Pick(turn(0), fleet)
-	if router.Pick(turn(1), fleet) != home {
+	home := router.Pick(turn(0), view(fleet))
+	if router.Pick(turn(1), view(fleet)) != home {
 		t.Fatal("session should stay sticky while the replica is healthy")
 	}
 	// Overload the home replica: the next turn must divert even though
 	// only the home replica has the session's pages indexed.
 	home.outTokens = 1 << 20
-	if got := router.Pick(turn(2), fleet); got == home {
+	if got := router.Pick(turn(2), view(fleet)); got == home {
 		t.Fatal("overloaded sticky replica must not win on its own cached pages")
 	}
 }
@@ -312,19 +315,19 @@ func TestPDSplitSessionsFollowTheirKV(t *testing.T) {
 			InputTokens: input, ReusedTokens: reused, OutputTokens: 64,
 			Pages: pdPages(9, input), AllPages: pdPages(9, input+64)}
 	}
-	home := router.Pick(turn(0, 9000, 0), fleet)
+	home := router.Pick(turn(0, 9000, 0), view(fleet))
 	if home.Role != RolePrefill {
 		t.Fatalf("long cold prefill routed to %s, want the prefill replica", home.Name)
 	}
 	// The follow-up turn's KV lives on the prefill replica; a healthy
 	// holder keeps its session (no KV migration in the fleet model).
-	if got := router.Pick(turn(1, 9500, 9064), fleet); got != home {
+	if got := router.Pick(turn(1, 9500, 9064), view(fleet)); got != home {
 		t.Fatalf("healthy session moved off its KV holder to %s", got.Name)
 	}
 	// Once the holder is overloaded, a short diverted turn is a cold
 	// short prefill: it must join the aggregated pool, not the holder.
 	home.outTokens = 1 << 20
-	got := router.Pick(turn(2, 1000, 0), fleet)
+	got := router.Pick(turn(2, 1000, 0), view(fleet))
 	if got == home || got.Role == RolePrefill {
 		t.Fatalf("diverted short turn routed to %s, want an aggregated replica", got.Name)
 	}
@@ -341,12 +344,12 @@ func TestPDSplitDivertWidensPastHotPool(t *testing.T) {
 			InputTokens: 800, OutputTokens: 64,
 			Pages: pdPages(5, 800), AllPages: pdPages(5, 864)}
 	}
-	home := router.Pick(turn(0), fleet)
+	home := router.Pick(turn(0), view(fleet))
 	if home.Role != RoleGeneral {
 		t.Fatalf("cold short request routed to %s, want the aggregated replica", home.Name)
 	}
 	home.outTokens = 1 << 20
-	if got := router.Pick(turn(1), fleet); got == home {
+	if got := router.Pick(turn(1), view(fleet)); got == home {
 		t.Fatal("divert re-pinned the session to the overloaded replica")
 	}
 }
@@ -363,14 +366,14 @@ func TestClusterSweepAndGoodput(t *testing.T) {
 	if len(pts) == 0 || pts[0].Rate != 0.5 {
 		t.Fatalf("sweep points wrong: %+v", pts)
 	}
-	g, err := Goodput(cfg, mk, 0.25, 1)
+	g, feasible, err := Goodput(cfg, mk, 0.25, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g <= 0 {
-		t.Fatalf("two-replica fleet should sustain the floor rate, got %v", g)
+	if !feasible || g <= 0 {
+		t.Fatalf("two-replica fleet should sustain the floor rate, got %v (feasible=%v)", g, feasible)
 	}
-	g2, _ := Goodput(cfg, mk, 0.25, 1)
+	g2, _, _ := Goodput(cfg, mk, 0.25, 1)
 	if g != g2 {
 		t.Fatalf("goodput not deterministic: %v vs %v", g, g2)
 	}

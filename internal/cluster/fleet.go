@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"muxwise/internal/metrics"
 	"muxwise/internal/sim"
 )
 
@@ -63,18 +64,22 @@ type FleetEvent struct {
 	ColdStart sim.Time
 }
 
-// FleetSnapshot is what an autoscaler observes each cadence tick.
+// FleetSnapshot is what an autoscaler observes each cadence tick: the
+// per-state replica counts plus the windowed metrics rollup routers see
+// through FleetView.Metrics.
 type FleetSnapshot struct {
 	Now sim.Time
 	// Ready/Starting/Draining count replicas per lifecycle state.
 	Ready, Starting, Draining int
-	// Backlog counts arrived-but-unfinished requests fleet-wide,
-	// including any queued for want of a routable replica.
-	Backlog int
-	// P99TTFT is the 99th-percentile TTFT (seconds) over first tokens
-	// observed inside the trailing observation window, 0 when none.
-	P99TTFT float64
+	// Metrics is the trailing-window rollup: TTFT quantiles over first
+	// tokens observed inside the window, and the fleet-wide backlog
+	// (arrived-but-unfinished requests, including any queued for want of
+	// a routable replica) at the tick instant.
+	Metrics metrics.Snapshot
 }
+
+// Backlog returns the fleet-wide backlog at the tick instant.
+func (s FleetSnapshot) Backlog() int { return s.Metrics.Backlog }
 
 // Autoscaler decides fleet scale from merged metrics on a cadence.
 // Decide returns how many replicas to add (positive), drain (negative),
@@ -83,6 +88,35 @@ type Autoscaler interface {
 	Name() string
 	Decide(s FleetSnapshot) int
 }
+
+// builtinScalers returns the built-in autoscaler constructors by name.
+func builtinScalers() map[string]func() Autoscaler {
+	return map[string]func() Autoscaler{
+		"backlog": func() Autoscaler { return BacklogScaler{} },
+		"ttft":    func() Autoscaler { return TTFTScaler{} },
+	}
+}
+
+var scalerRegistry = newRegistry("autoscaler", builtinScalers)
+
+// RegisterScaler adds an autoscaler constructor to the registry under
+// name. Registering an empty name, a nil constructor, or a name already
+// taken (built-in or registered) is an error.
+func RegisterScaler(name string, mk func() Autoscaler) error {
+	if mk == nil {
+		return fmt.Errorf("cluster: nil constructor for autoscaler %q", name)
+	}
+	return scalerRegistry.add(name, mk)
+}
+
+// Scalers returns every available autoscaler constructor by name: the
+// built-ins plus everything added through RegisterScaler. The map is a
+// copy.
+func Scalers() map[string]func() Autoscaler { return scalerRegistry.all() }
+
+// ScalerNames returns the available autoscaler names in deterministic
+// order.
+func ScalerNames() []string { return scalerRegistry.names() }
 
 // BacklogScaler scales on arrived-but-unfinished requests per routable
 // replica: spawn above Hi, drain below Lo. The zero value uses Hi=8,
@@ -106,12 +140,12 @@ func (b BacklogScaler) Decide(s FleetSnapshot) int {
 	}
 	n := s.Ready + s.Starting
 	if n == 0 {
-		if s.Backlog > 0 {
+		if s.Backlog() > 0 {
 			return 1
 		}
 		return 0
 	}
-	switch per := s.Backlog / n; {
+	switch per := s.Backlog() / n; {
 	case per >= hi:
 		return 1
 	case per <= lo && s.Starting == 0 && s.Draining == 0:
@@ -120,11 +154,25 @@ func (b BacklogScaler) Decide(s FleetSnapshot) int {
 	return 0
 }
 
+// TTFTTargeted is implemented by autoscalers that accept a TTFT target
+// (the FleetOptions.TargetTTFT knob). WithTarget returns the scaler to
+// use — typically a copy with the target applied — so value-typed
+// scalers work without mutation.
+type TTFTTargeted interface {
+	WithTarget(target sim.Time) Autoscaler
+}
+
 // TTFTScaler scales on the trailing-window P99 TTFT: spawn above Target,
 // drain when the tail sits below Target/4 with no backlog pressure. The
 // zero value targets 1 s.
 type TTFTScaler struct {
 	Target sim.Time
+}
+
+// WithTarget implements TTFTTargeted.
+func (t TTFTScaler) WithTarget(target sim.Time) Autoscaler {
+	t.Target = target
+	return t
 }
 
 // Name implements Autoscaler.
@@ -136,11 +184,11 @@ func (t TTFTScaler) Decide(s FleetSnapshot) int {
 	if target <= 0 {
 		target = sim.Second
 	}
-	switch tail := target.Seconds(); {
-	case s.P99TTFT > tail:
+	switch tail, p99 := target.Seconds(), s.Metrics.TTFT.P99; {
+	case p99 > tail:
 		return 1
-	case s.P99TTFT < tail/4 && s.Starting == 0 && s.Draining == 0 &&
-		s.Backlog <= s.Ready:
+	case p99 < tail/4 && s.Starting == 0 && s.Draining == 0 &&
+		s.Backlog() <= s.Ready:
 		return -1
 	}
 	return 0
@@ -300,18 +348,12 @@ func (fc *FleetController) apply(ev FleetEvent) {
 
 // snapshot assembles the autoscaler's view of the fleet.
 func (fc *FleetController) snapshot() FleetSnapshot {
-	now := fc.c.Sim.Now()
-	from := now - fc.cfg.Window
-	if from < 0 {
-		from = 0
-	}
 	return FleetSnapshot{
-		Now:      now,
+		Now:      fc.c.Sim.Now(),
 		Ready:    fc.c.countState(StateReady),
 		Starting: fc.c.countState(StateStarting),
 		Draining: fc.c.countState(StateDraining),
-		Backlog:  fc.c.Unfinished(),
-		P99TTFT:  fc.c.TTFTTail(from).P99,
+		Metrics:  fc.c.Snapshot(fc.cfg.Window),
 	}
 }
 

@@ -445,7 +445,7 @@ func TestPickDegenerateFleets(t *testing.T) {
 		single := bareFleet(RoleGeneral)
 		r := policy()
 		for i := 0; i < 3; i++ {
-			if got := r.Pick(req(i), single); got != single[0] {
+			if got := r.Pick(req(i), view(single)); got != single[0] {
 				t.Fatalf("%s: single-replica fleet picked %v", name, got)
 			}
 		}
@@ -457,12 +457,12 @@ func TestPickDegenerateFleets(t *testing.T) {
 			rep.inFlight = 99
 		}
 		r = policy()
-		first := r.Pick(req(0), hot)
+		first := r.Pick(req(0), view(hot))
 		if first == nil {
 			t.Fatalf("%s: all-overloaded fleet returned nil", name)
 		}
 		r2 := policy()
-		if again := r2.Pick(req(0), hot); again != first {
+		if again := r2.Pick(req(0), view(hot)); again != first {
 			t.Fatalf("%s: all-overloaded pick not deterministic", name)
 		}
 	}

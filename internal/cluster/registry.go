@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry is a named-constructor table with built-in entries and
+// runtime registration — the one implementation behind both the router
+// and autoscaler registries. Registration usually happens in init
+// functions, but sweeps probe concurrently, so all access is guarded.
+type registry[T any] struct {
+	kind    string // "router policy", "autoscaler" — for error text
+	builtin func() map[string]T
+
+	mu    sync.RWMutex
+	extra map[string]T
+}
+
+func newRegistry[T any](kind string, builtin func() map[string]T) *registry[T] {
+	return &registry[T]{kind: kind, builtin: builtin, extra: map[string]T{}}
+}
+
+// add registers v under name, rejecting empty and duplicate names.
+func (r *registry[T]) add(name string, v T) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty %s name", r.kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.builtin()[name]; dup {
+		return fmt.Errorf("cluster: %s %q is already registered (built-in)", r.kind, name)
+	}
+	if _, dup := r.extra[name]; dup {
+		return fmt.Errorf("cluster: %s %q is already registered", r.kind, name)
+	}
+	r.extra[name] = v
+	return nil
+}
+
+// all returns every entry by name — built-ins plus registered — as a
+// fresh copy.
+func (r *registry[T]) all() map[string]T {
+	out := r.builtin()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.extra {
+		out[k] = v
+	}
+	return out
+}
+
+// names returns the available names in deterministic (sorted) order.
+func (r *registry[T]) names() []string {
+	entries := r.all()
+	names := make([]string, 0, len(entries))
+	for k := range entries {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

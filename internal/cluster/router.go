@@ -1,24 +1,53 @@
 package cluster
 
 import (
-	"sort"
+	"fmt"
 
 	"muxwise/internal/kvcache"
+	"muxwise/internal/metrics"
+	"muxwise/internal/sim"
 	"muxwise/internal/workload"
 )
+
+// FleetView is the read-only context a Router sees at every arrival:
+// the routable candidates plus, on demand, a windowed rollup of the
+// fleet's recent observations. User-supplied policies receive exactly
+// this view — nothing in it lets them mutate the fleet.
+type FleetView struct {
+	// Now is the simulation instant of the routing decision.
+	Now sim.Time
+	// Candidates are the routable replicas in ID order. The slice is a
+	// scratch buffer rebuilt per arrival; policies must not retain it
+	// (key remembered state by Replica.ID instead).
+	Candidates []*Replica
+
+	c *Cluster
+}
+
+// Metrics summarises the trailing window of fleet-wide observations
+// (first-token latencies by emission time, plus the current backlog).
+// It walks the fleet's recorders, so policies that need it every pick
+// should prefer event-driven state via TTFTObserver. A view built
+// without a cluster (unit tests) reports an empty snapshot.
+func (v FleetView) Metrics(window sim.Time) metrics.Snapshot {
+	if v.c == nil {
+		return metrics.Snapshot{From: v.Now, To: v.Now}
+	}
+	return v.c.Snapshot(window)
+}
 
 // Router picks a replica for each arriving request. Pick is called from
 // inside the simulation in deterministic arrival order, so stateful
 // policies (cursors, session maps, prefix indexes) stay reproducible.
 //
-// With a lifecycle-managed fleet the candidate slice changes between
+// With a lifecycle-managed fleet the candidate set changes between
 // calls: replicas spawn, drain and fail mid-run, so policies must key
 // any internal state by Replica.ID (stable for the life of a run), never
 // by position in the slice, and must tolerate a remembered replica being
 // absent from the current candidates.
 type Router interface {
 	Name() string
-	Pick(r *workload.Request, fleet []*Replica) *Replica
+	Pick(r *workload.Request, view FleetView) *Replica
 }
 
 // FleetObserver is implemented by routers that keep per-replica state.
@@ -28,6 +57,14 @@ type Router interface {
 // re-prefill on whichever replica it re-sticks to.
 type FleetObserver interface {
 	ReplicaDown(id int)
+}
+
+// TTFTObserver is implemented by routers that learn from observed
+// latency. The cluster reports each request's TTFT against the replica
+// that served it, at the instant the first token is emitted — the signal
+// the adaptive-ttft policy folds into its per-replica EWMA.
+type TTFTObserver interface {
+	ObserveTTFT(replica int, ttft sim.Time)
 }
 
 // Policy constructs a fresh router. Routers keep per-run state, so every
@@ -40,27 +77,39 @@ const (
 	LeastTokensPolicy    = "least-tokens"
 	PrefixAffinityPolicy = "prefix-affinity"
 	PDSplitPolicy        = "pd-split"
+	AdaptiveTTFTPolicy   = "adaptive-ttft"
 )
 
-// Policies returns the built-in router policies by name.
-func Policies() map[string]Policy {
+// builtinPolicies returns the built-in router policies by name.
+func builtinPolicies() map[string]Policy {
 	return map[string]Policy{
 		RoundRobinPolicy:     RoundRobin,
 		LeastTokensPolicy:    LeastTokens,
 		PrefixAffinityPolicy: PrefixAffinity,
 		PDSplitPolicy:        func() Router { return PDSplit(0) },
+		AdaptiveTTFTPolicy:   AdaptiveTTFT,
 	}
 }
 
-// PolicyNames returns the built-in policy names in deterministic order.
-func PolicyNames() []string {
-	names := make([]string, 0, 4)
-	for k := range Policies() {
-		names = append(names, k)
+var policyRegistry = newRegistry("router policy", builtinPolicies)
+
+// RegisterPolicy adds a router policy to the registry under name, making
+// it selectable wherever built-in names are (deployments, sweeps, CLIs).
+// Registering an empty name, a nil constructor, or a name already taken
+// (built-in or registered) is an error.
+func RegisterPolicy(name string, p Policy) error {
+	if p == nil {
+		return fmt.Errorf("cluster: nil constructor for router policy %q", name)
 	}
-	sort.Strings(names)
-	return names
+	return policyRegistry.add(name, p)
 }
+
+// Policies returns every available router policy by name: the built-ins
+// plus everything added through RegisterPolicy. The map is a copy.
+func Policies() map[string]Policy { return policyRegistry.all() }
+
+// PolicyNames returns the available policy names in deterministic order.
+func PolicyNames() []string { return policyRegistry.names() }
 
 // leastLoaded returns the candidate with the fewest outstanding tokens
 // (ties: fewest in-flight requests, then lowest ID).
@@ -99,8 +148,8 @@ func RoundRobin() Router { return &roundRobin{} }
 
 func (p *roundRobin) Name() string { return RoundRobinPolicy }
 
-func (p *roundRobin) Pick(r *workload.Request, fleet []*Replica) *Replica {
-	rep := fleet[p.next%len(fleet)]
+func (p *roundRobin) Pick(r *workload.Request, view FleetView) *Replica {
+	rep := view.Candidates[p.next%len(view.Candidates)]
 	p.next++
 	return rep
 }
@@ -115,8 +164,8 @@ func LeastTokens() Router { return leastTokens{} }
 
 func (leastTokens) Name() string { return LeastTokensPolicy }
 
-func (leastTokens) Pick(r *workload.Request, fleet []*Replica) *Replica {
-	return leastLoaded(fleet)
+func (leastTokens) Pick(r *workload.Request, view FleetView) *Replica {
+	return leastLoaded(view.Candidates)
 }
 
 // ---- prefix-cache / session affinity ----
@@ -265,7 +314,8 @@ func (p *prefixAffinity) Name() string { return PrefixAffinityPolicy }
 // ReplicaDown implements FleetObserver.
 func (p *prefixAffinity) ReplicaDown(id int) { p.aff.replicaDown(id) }
 
-func (p *prefixAffinity) Pick(r *workload.Request, fleet []*Replica) *Replica {
+func (p *prefixAffinity) Pick(r *workload.Request, view FleetView) *Replica {
+	fleet := view.Candidates
 	rep := p.aff.sticky(r, fleet)
 	switch {
 	case rep == nil:
@@ -352,7 +402,8 @@ func divertPool(pool, fleet []*Replica, hot *Replica) []*Replica {
 	return pool
 }
 
-func (p *pdSplit) Pick(r *workload.Request, fleet []*Replica) *Replica {
+func (p *pdSplit) Pick(r *workload.Request, view FleetView) *Replica {
+	fleet := view.Candidates
 	// Cache-hit estimate: a session's reused context lives only on the
 	// replica that served its previous turns. Serving anywhere else is
 	// a cold prefill of the full input — the fleet model simulates no

@@ -143,6 +143,7 @@ func Registry() []Experiment {
 		{"sec431", "§4.3.1 (single GPU, short requests)", Sec431},
 		{"sec45", "§4.5 (PD-multiplexing overheads)", Sec45},
 		{"sec6", "§6 (WindServe / temporal-only comparisons)", Sec6},
+		{"routers", "router-policy goodput on bursty Conversation (beyond the paper)", Routers},
 	}
 }
 

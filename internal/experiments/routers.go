@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"muxwise/internal/cluster"
+	"muxwise/internal/core"
+	"muxwise/internal/gpu"
+	"muxwise/internal/metrics"
+	"muxwise/internal/model"
+	"muxwise/internal/serve"
+	"muxwise/internal/sim"
+	"muxwise/internal/workload"
+)
+
+// Routers compares every fleet router policy's goodput on the Fig. 13
+// bursty Conversation profile over a heterogeneous A100+H100 MuxWise
+// fleet — the instance-assignment layer's analogue of the Fig. 15
+// goodput comparison. The searched axis is the burst scale the fleet
+// sustains under the §4 criterion; session-affine and learned policies
+// beat load-only scoring because multi-turn KV stays where it was
+// cached and cold traffic drifts toward the faster replica.
+func Routers(o Opts) []Table {
+	// Even the quick scale keeps enough sessions to load the two-replica
+	// fleet past its SLO wall inside the searched range — lighter traces
+	// saturate at hi and the policies become indistinguishable.
+	sessions := o.size(120, 80)
+	lo, hi := 2.0, 16.0
+	mk := func(scale float64) *workload.Trace {
+		return workload.Conversation(17, sessions).
+			WithProfileArrivals(17, workload.ConversationProfile(scale))
+	}
+	base := serve.Config{
+		Spec: gpu.A100(), GPUs: 1, Arch: model.Llama8B(),
+		SLO: metrics.SLO{TTFT: sim.Second, TBT: 50 * sim.Millisecond},
+	}
+	t := Table{
+		ID:    "routers",
+		Title: "router-policy goodput, bursty Conversation (burst scale sustained)",
+		Columns: []string{
+			"router", "goodput-scale", "vs-least-tokens",
+		},
+		Notes: []string{
+			"fleet: 1×MuxWise/A100 + 1×MuxWise/H100; n/a = floor scale misses the SLO",
+		},
+	}
+	goodputs := map[string]float64{}
+	names := cluster.PolicyNames()
+	for _, name := range names {
+		cfg := cluster.Config{
+			Base: base,
+			Replicas: []cluster.ReplicaSpec{
+				{Engine: "MuxWise", Factory: core.New, Count: 1, Hardware: gpu.A100()},
+				{Engine: "MuxWise", Factory: core.New, Count: 1, Hardware: gpu.H100()},
+			},
+			Policy: cluster.Policies()[name],
+		}
+		g, feasible, err := cluster.Goodput(cfg, mk, lo, hi)
+		if err != nil || !feasible {
+			goodputs[name] = 0
+			continue
+		}
+		goodputs[name] = g
+	}
+	ref := goodputs[cluster.LeastTokensPolicy]
+	for _, name := range names {
+		g := goodputs[name]
+		switch {
+		case g == 0:
+			t.Add(name, "n/a", "-")
+		case ref > 0:
+			t.Addf("", name, g, goodputs[name]/ref)
+		default:
+			t.Addf("", name, g, "-")
+		}
+	}
+	return []Table{t}
+}

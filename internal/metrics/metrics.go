@@ -61,6 +61,11 @@ type Recorder struct {
 	// OnFinish, when set, is invoked exactly once per request as it
 	// completes (cluster routers use it to track per-replica load).
 	OnFinish func(id int, at sim.Time)
+
+	// OnFirstToken, when set, is invoked once per request as its first
+	// token is observed, with the request's TTFT (learned routers use it
+	// to track per-replica first-token latency).
+	OnFirstToken func(id int, ttft sim.Time)
 }
 
 // NewRecorder returns an empty recorder.
@@ -99,6 +104,9 @@ func (r *Recorder) Token(id int, at sim.Time) {
 	r.decodeTokens++
 	if rec.firstToken < 0 {
 		rec.firstToken = at
+		if r.OnFirstToken != nil {
+			r.OnFirstToken(id, at-rec.arrival)
+		}
 	} else {
 		r.tbt = append(r.tbt, tbtSample{id: id, at: at, v: (at - rec.lastToken).Seconds()})
 	}

@@ -1,0 +1,17 @@
+package metrics
+
+import "muxwise/internal/sim"
+
+// Snapshot is a read-only, windowed rollup of recent observations — the
+// view pluggable routers and autoscalers receive so they can react to
+// the tail the fleet is serving right now rather than to cumulative
+// statistics diluted by the whole run.
+type Snapshot struct {
+	// From and To bracket the trailing observation window.
+	From, To sim.Time
+	// TTFT summarises the first-token latencies observed inside the
+	// window (by first-token emission time).
+	TTFT Quantiles
+	// Backlog counts arrived-but-unfinished requests at To.
+	Backlog int
+}

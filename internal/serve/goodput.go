@@ -83,9 +83,12 @@ func Sweep(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, ra
 // GoodputBy finds the highest offered rate (within [lo, hi]) whose probe
 // meets the SLO criterion, by bisection to a 2% relative resolution.
 // Bisection is inherently sequential: each probe decides the next rate.
-func GoodputBy(probe func(rate float64) RatePoint, lo, hi float64) float64 {
+// The second result distinguishes "the floor rate lo already misses the
+// criterion" (false) from a feasible range (true): callers must not
+// conflate an infeasible range with a goodput of 0 req/s.
+func GoodputBy(probe func(rate float64) RatePoint, lo, hi float64) (float64, bool) {
 	if !probe(lo).meets() {
-		return 0
+		return 0, false
 	}
 	best := lo
 	for i := 0; i < 7 && hi-lo > 0.02*hi; i++ {
@@ -96,13 +99,15 @@ func GoodputBy(probe func(rate float64) RatePoint, lo, hi float64) float64 {
 			hi = mid
 		}
 	}
-	return best
+	return best, true
 }
 
 // Goodput finds the highest offered rate (within [lo, hi]) at which the
-// engine meets the SLO criterion — the paper's headline metric.
+// engine meets the SLO criterion — the paper's headline metric. An
+// infeasible range reports 0; use GoodputBy to tell the cases apart.
 func Goodput(f Factory, cfg Config, mkTrace func(rate float64) *workload.Trace, lo, hi float64) float64 {
-	return GoodputBy(func(rate float64) RatePoint {
+	g, _ := GoodputBy(func(rate float64) RatePoint {
 		return Probe(f, cfg, mkTrace, rate)
 	}, lo, hi)
+	return g
 }

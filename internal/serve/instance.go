@@ -61,6 +61,18 @@ func (i *Instance) OnFinish(fn func(id int, at sim.Time)) {
 	}
 }
 
+// OnFirstToken registers a per-request first-token callback (invoked
+// with the request's TTFT), chaining with any callback already installed.
+func (i *Instance) OnFirstToken(fn func(id int, ttft sim.Time)) {
+	prev := i.Rec.OnFirstToken
+	i.Rec.OnFirstToken = func(id int, ttft sim.Time) {
+		if prev != nil {
+			prev(id, ttft)
+		}
+		fn(id, ttft)
+	}
+}
+
 // Submit records the request's arrival and delivers it to the engine.
 // It must be called from inside the simulation at the arrival time (or
 // later, when a fleet controller re-dispatches a request off a failed

@@ -8,13 +8,16 @@
 //
 // # Quick start
 //
+// Everything runs through one composable runner, the Experiment:
+//
 //	trace := muxwise.ShareGPT(1, 500).WithPoissonArrivals(1, 5)
 //	dep := muxwise.Deployment{
 //		Hardware: "A100", GPUs: 8, Model: "Llama-8B",
 //		SLO: muxwise.SLO{TTFT: 500 * muxwise.Millisecond, TBT: 50 * muxwise.Millisecond},
 //	}
-//	res, err := muxwise.Serve("MuxWise", dep, trace)
-//	fmt.Println(res.Summary.TTFT, res.Summary.TBT)
+//	exp := muxwise.NewExperiment(muxwise.WithDeployment(dep), muxwise.WithEngine("MuxWise"))
+//	report, err := exp.Run(trace)
+//	fmt.Println(report.Summary.TTFT, report.Summary.TBT)
 //
 // Engines are selected by name: "MuxWise", "Chunked", "NanoFlow",
 // "LoongServe", "SGLang-PD", "WindServe", "Temporal". Everything runs on
@@ -22,19 +25,28 @@
 //
 // # Clusters
 //
-// ServeCluster scales the same simulation to a replica fleet behind an
+// WithFleet scales the same simulation to a replica fleet behind an
 // EPP-style request router (round-robin, least-tokens, prefix-affinity,
-// pd-split):
+// pd-split, adaptive-ttft):
 //
-//	fleet := muxwise.ClusterDeployment{
-//		Deployment: dep,
-//		Replicas: []muxwise.ReplicaSpec{
-//			{Engine: "MuxWise", Count: 6},
-//			{Engine: "SGLang-PD", Count: 2, Role: "prefill"},
-//		},
-//		Router: "pd-split",
-//	}
-//	cres, err := muxwise.ServeCluster(fleet, trace)
+//	exp := muxwise.NewExperiment(
+//		muxwise.WithDeployment(dep),
+//		muxwise.WithFleet(
+//			muxwise.ReplicaSpec{Engine: "MuxWise", Count: 6},
+//			muxwise.ReplicaSpec{Engine: "SGLang-PD", Count: 2, Role: "prefill"},
+//		),
+//		muxwise.WithRouter("pd-split"),
+//	)
+//	report, err := exp.Run(trace)
+//
+// Routers and autoscalers are pluggable: implement Router or Autoscaler
+// against the read-only FleetView/FleetSnapshot and register the policy
+// by name (RegisterRouter, RegisterAutoscaler) to use it anywhere a
+// built-in name works. The "adaptive-ttft" policy — per-replica EWMA of
+// observed TTFT — is the reference learned router built on that seam.
+//
+// The pre-Experiment entry points (Serve, Goodput, Sweep, ServeCluster,
+// ClusterGoodput, ClusterSweep) remain as thin deprecated wrappers.
 package muxwise
 
 import (
@@ -109,6 +121,19 @@ var (
 	ReadTraceJSONL = workload.ReadJSONL
 )
 
+// MixedBursty builds the Fig. 13 bursty Conversation + Tool&Agent mix
+// the cluster tooling replays: the given number of sessions of each
+// workload, profile-paced at the given burst scale (Tool&Agent seeded
+// at seed+1). muxcluster, tracegen and the cluster example all replay
+// exactly this trace.
+func MixedBursty(seed uint64, sessions int, scale float64) *Trace {
+	conv := Conversation(seed, sessions).
+		WithProfileArrivals(seed, ConversationProfile(scale))
+	tool := ToolAgent(seed+1, sessions).
+		WithProfileArrivals(seed+1, ToolAgentProfile(scale))
+	return MixTraces("Conversation+Tool&Agent", conv, tool)
+}
+
 // Deployment describes the simulated serving hardware and model.
 type Deployment struct {
 	// Hardware names a GPU spec: "A100", "H100", or "H200".
@@ -167,47 +192,42 @@ func factory(engine string) (serve.Factory, error) {
 
 // Serve replays the trace against the named engine on the deployment and
 // returns the run result. Runs are deterministic for a given input.
+//
+// Deprecated: use NewExperiment(WithDeployment(dep),
+// WithEngine(engine)).Run(trace) and read Report.Engine.
 func Serve(engine string, dep Deployment, trace *Trace) (Result, error) {
-	f, err := factory(engine)
+	rep, err := NewExperiment(WithDeployment(dep), WithEngine(engine)).Run(trace)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg, err := dep.config()
-	if err != nil {
-		return Result{}, err
-	}
-	return serve.Run(f, cfg, trace), nil
+	return *rep.Engine, nil
 }
 
 // Goodput finds the highest request rate (req/s, within [lo, hi]) at
 // which the engine sustains ≥99% TBT SLO attainment on traces built by
-// mkTrace — the paper's headline metric.
+// mkTrace — the paper's headline metric. An invalid range is an error;
+// a range whose floor rate already misses the criterion returns
+// ErrNoFeasibleRate.
+//
+// Deprecated: use NewExperiment(WithDeployment(dep), WithEngine(engine),
+// WithWorkload(mkTrace)).Goodput(lo, hi).
 func Goodput(engine string, dep Deployment, mkTrace func(rate float64) *Trace, lo, hi float64) (float64, error) {
-	f, err := factory(engine)
-	if err != nil {
-		return 0, err
-	}
-	cfg, err := dep.config()
-	if err != nil {
-		return 0, err
-	}
-	return serve.Goodput(f, cfg, mkTrace, lo, hi), nil
+	return NewExperiment(
+		WithDeployment(dep), WithEngine(engine), WithWorkload(mkTrace),
+	).Goodput(lo, hi)
 }
 
 // Sweep probes each offered rate, stopping shortly after the engine
 // first misses the SLO criterion. Probes run concurrently (results are
 // identical to a sequential sweep), so mkTrace must be safe to call
 // from multiple goroutines — return a fresh trace per call.
+//
+// Deprecated: use NewExperiment(WithDeployment(dep), WithEngine(engine),
+// WithWorkload(mkTrace)).Sweep(rates...).
 func Sweep(engine string, dep Deployment, mkTrace func(rate float64) *Trace, rates []float64) ([]RatePoint, error) {
-	f, err := factory(engine)
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := dep.config()
-	if err != nil {
-		return nil, err
-	}
-	return serve.Sweep(f, cfg, mkTrace, rates), nil
+	return NewExperiment(
+		WithDeployment(dep), WithEngine(engine), WithWorkload(mkTrace),
+	).Sweep(rates...)
 }
 
 // Cluster types re-exported from internal/cluster.
@@ -306,9 +326,6 @@ type FleetOptions struct {
 	MinReplicas, MaxReplicas int
 }
 
-// AutoscalerPolicies lists the built-in autoscaler names.
-func AutoscalerPolicies() []string { return []string{"backlog", "ttft"} }
-
 // fleetConfig resolves the public fleet options.
 func (fo *FleetOptions) fleetConfig() (*cluster.FleetConfig, error) {
 	if fo == nil {
@@ -320,14 +337,18 @@ func (fo *FleetOptions) fleetConfig() (*cluster.FleetConfig, error) {
 		Min:       fo.MinReplicas,
 		Max:       fo.MaxReplicas,
 	}
-	switch fo.Autoscaler {
-	case "":
-	case "backlog":
-		fc.Scaler = cluster.BacklogScaler{}
-	case "ttft":
-		fc.Scaler = cluster.TTFTScaler{Target: fo.TargetTTFT}
-	default:
-		return nil, fmt.Errorf("muxwise: unknown autoscaler %q (have %v)", fo.Autoscaler, AutoscalerPolicies())
+	if fo.Autoscaler != "" {
+		mk, ok := cluster.Scalers()[fo.Autoscaler]
+		if !ok {
+			return nil, fmt.Errorf("muxwise: unknown autoscaler %q (have %v)", fo.Autoscaler, AutoscalerPolicies())
+		}
+		sc := mk()
+		// The TTFT target flows through the plugin seam: any scaler —
+		// built-in or registered — that implements TTFTTargeted gets it.
+		if tt, ok := sc.(cluster.TTFTTargeted); ok && fo.TargetTTFT > 0 {
+			sc = tt.WithTarget(fo.TargetTTFT)
+		}
+		fc.Scaler = sc
 	}
 	if fo.Spawn != nil {
 		spec, err := fo.Spawn.spec()
@@ -380,8 +401,19 @@ type ClusterDeployment struct {
 	Fleet *FleetOptions
 }
 
-// RouterPolicies lists the available cluster router policies.
-func RouterPolicies() []string { return cluster.PolicyNames() }
+// experiment lowers the legacy deployment struct onto the Experiment
+// runner the deprecated Cluster* wrappers delegate to.
+func (d ClusterDeployment) experiment() *Experiment {
+	opts := []Option{
+		WithDeployment(d.Deployment),
+		WithFleet(d.Replicas...),
+		WithRouter(d.Router),
+	}
+	if d.Fleet != nil {
+		opts = append(opts, WithFleetOptions(*d.Fleet))
+	}
+	return NewExperiment(opts...)
+}
 
 // config resolves the cluster deployment into a cluster.Config.
 func (d ClusterDeployment) config() (cluster.Config, error) {
@@ -414,32 +446,36 @@ func (d ClusterDeployment) config() (cluster.Config, error) {
 
 // ServeCluster replays the trace against a simulated replica fleet and
 // returns fleet-wide plus per-replica results. Runs are deterministic.
+//
+// Deprecated: use NewExperiment(WithDeployment(dep.Deployment),
+// WithFleet(dep.Replicas...), WithRouter(dep.Router)).Run(trace) and
+// read Report.Fleet.
 func ServeCluster(dep ClusterDeployment, trace *Trace) (ClusterResult, error) {
-	cfg, err := dep.config()
+	rep, err := dep.experiment().Run(trace)
 	if err != nil {
 		return ClusterResult{}, err
 	}
-	return cluster.Run(cfg, trace)
+	return *rep.Fleet, nil
 }
 
 // ClusterGoodput finds the highest request rate (req/s, within [lo, hi])
 // at which the fleet sustains the §4 goodput criterion on its merged
-// metrics — the paper's headline metric lifted to the cluster level.
+// metrics — the paper's headline metric lifted to the cluster level. An
+// invalid range is an error; a range whose floor rate already misses
+// the criterion returns ErrNoFeasibleRate.
+//
+// Deprecated: use an Experiment with WithFleet and WithWorkload, then
+// Goodput(lo, hi).
 func ClusterGoodput(dep ClusterDeployment, mkTrace func(rate float64) *Trace, lo, hi float64) (float64, error) {
-	cfg, err := dep.config()
-	if err != nil {
-		return 0, err
-	}
-	return cluster.Goodput(cfg, mkTrace, lo, hi)
+	return dep.experiment().With(WithWorkload(mkTrace)).Goodput(lo, hi)
 }
 
 // ClusterSweep probes each offered rate against the fleet, with the
 // same early-stop semantics as Sweep. Like Sweep, probes run
 // concurrently and mkTrace must be goroutine-safe.
+//
+// Deprecated: use an Experiment with WithFleet and WithWorkload, then
+// Sweep(rates...).
 func ClusterSweep(dep ClusterDeployment, mkTrace func(rate float64) *Trace, rates []float64) ([]RatePoint, error) {
-	cfg, err := dep.config()
-	if err != nil {
-		return nil, err
-	}
-	return cluster.Sweep(cfg, mkTrace, rates)
+	return dep.experiment().With(WithWorkload(mkTrace)).Sweep(rates...)
 }
