@@ -9,6 +9,9 @@
 //	muxbench -run fig15 -quick     # reduced scale
 //	muxbench -run fig15 -json      # machine-readable tables
 //	muxbench -run routers          # fleet router goodput (beyond the paper)
+//	muxbench -run frontier         # goodput-per-GPU frontier (Fig. 13 scales)
+//	muxbench -run frontier -frontier-report out.json
+//	                               # ...also write the canonical FrontierReport
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"muxwise/internal/experiments"
+	"muxwise/internal/frontier"
 )
 
 // jsonResult is one experiment's machine-readable output: the reproduced
@@ -36,11 +40,18 @@ func main() {
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale (CI-sized traces and sweeps)")
 	asJSON := flag.Bool("json", false, "write results as JSON instead of tables")
+	frontierReport := flag.String("frontier-report", "",
+		"when the frontier experiment runs, also write its canonical FrontierReport JSON here")
 	flag.Parse()
+
+	// The frontier sweep lives outside internal/experiments (it drives
+	// the public muxwise.Experiment API, which that package underpins),
+	// so it joins the registry here.
+	registry := append(experiments.Registry(), frontier.BenchExperiment(*frontierReport))
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
-		for _, e := range experiments.Registry() {
+		for _, e := range registry {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Paper)
 		}
 		if *run == "" && !*list {
@@ -52,9 +63,9 @@ func main() {
 	opts := experiments.Opts{Quick: *quick}
 	var todo []experiments.Experiment
 	if *run == "all" {
-		todo = experiments.Registry()
+		todo = registry
 	} else {
-		e, ok := experiments.ByID(*run)
+		e, ok := experiments.Find(registry, *run)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *run)
 			os.Exit(1)

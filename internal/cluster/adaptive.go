@@ -87,6 +87,12 @@ func (p *adaptiveTTFT) best(cands []*Replica) *Replica {
 
 func (p *adaptiveTTFT) Pick(r *workload.Request, view FleetView) *Replica {
 	fleet := view.Candidates
+	if len(fleet) == 0 {
+		// The cluster queues arrivals while nothing is routable, but a
+		// policy must also survive a direct Pick on an empty fleet (unit
+		// harnesses, external callers of the plugin seam).
+		return nil
+	}
 	rep := p.aff.sticky(r, fleet)
 	switch {
 	case rep == nil:

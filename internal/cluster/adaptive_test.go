@@ -47,6 +47,61 @@ func TestAdaptiveTTFTExploresUnseenReplicas(t *testing.T) {
 	}
 }
 
+func TestAdaptiveTTFTEmptyFleet(t *testing.T) {
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+	// A direct Pick on an empty candidate set must return nil, not panic
+	// — the cluster queues arrivals in that state, but the plugin seam
+	// does not promise callers a non-empty view.
+	if got := r.Pick(coldReq(0), view(nil)); got != nil {
+		t.Fatalf("empty fleet picked %v, want nil", got)
+	}
+	// The nil pick must not have pinned the session to anything: the
+	// next pick with a live fleet routes normally.
+	fleet := bareFleet(RoleGeneral)
+	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[0] {
+		t.Fatal("pick after an empty-fleet miss should route to the live replica")
+	}
+}
+
+func TestAdaptiveTTFTAllDrainingCandidates(t *testing.T) {
+	// The cluster only offers StateReady candidates, but a policy must
+	// tolerate any candidate set handed through the seam — e.g. a
+	// harness replaying a drain storm. Every pick must land inside the
+	// given set without panicking.
+	fleet := bareFleet(RoleGeneral, RoleGeneral)
+	for _, rep := range fleet {
+		rep.State = StateDraining
+	}
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+	got := r.Pick(coldReq(0), view(fleet))
+	if got != fleet[0] && got != fleet[1] {
+		t.Fatalf("pick returned %v, want a candidate", got)
+	}
+}
+
+func TestAdaptiveTTFTSingleColdReplica(t *testing.T) {
+	// One never-observed replica: the EWMA map is empty, outstanding
+	// load is zero, and the score must still be a positive finite floor
+	// — no division by zero on the unseeded EWMA.
+	fleet := bareFleet(RoleGeneral)
+	r := AdaptiveTTFT().(*adaptiveTTFT)
+	if s := r.score(fleet[0]); !(s > 0) {
+		t.Fatalf("cold replica score %v, want a positive floor", s)
+	}
+	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[0] {
+		t.Fatal("single cold replica must win its own fleet")
+	}
+	// A zero-TTFT observation (first token at arrival) seeds the EWMA at
+	// zero; the floor must keep the score positive and the pick stable.
+	r.ObserveTTFT(0, 0)
+	if s := r.score(fleet[0]); !(s > 0) {
+		t.Fatalf("zero-seeded EWMA score %v, want the floor to hold", s)
+	}
+	if got := r.Pick(coldReq(1), view(fleet)); got != fleet[0] {
+		t.Fatal("zero-seeded EWMA must not unroute the only replica")
+	}
+}
+
 func TestAdaptiveTTFTSticksAndObservesDown(t *testing.T) {
 	fleet := bareFleet(RoleGeneral, RoleGeneral, RoleGeneral)
 	r := AdaptiveTTFT().(*adaptiveTTFT)

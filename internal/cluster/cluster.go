@@ -612,6 +612,7 @@ type ReplicaResult struct {
 	Name     string
 	Engine   string
 	Hardware string
+	GPUs     int // devices this replica occupied
 	Role     Role
 	State    State
 	ReadyAt  sim.Time
@@ -770,10 +771,15 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 		if rep.Spec.Hardware.Name != "" {
 			hw = rep.Spec.Hardware.Name
 		}
+		gpus := cfg.Base.GPUs
+		if rep.Spec.GPUs > 0 {
+			gpus = rep.Spec.GPUs
+		}
 		res.Replicas = append(res.Replicas, ReplicaResult{
 			Name:     rep.Name,
 			Engine:   rep.Spec.Engine,
 			Hardware: hw,
+			GPUs:     gpus,
 			Role:     rep.Role,
 			State:    rep.State,
 			ReadyAt:  rep.ReadyAt,

@@ -33,7 +33,7 @@ func Fig19(o Opts) []Table {
 	if o.Quick {
 		cases = cases[1:]
 	}
-	sessions := o.size(500, 60)
+	sessions := o.Size(500, 60)
 	variants := []struct {
 		name string
 		opts core.Options
@@ -104,7 +104,7 @@ func Sec431(o Opts) []Table {
 	mk := func(rate float64) *workload.Trace {
 		// Fixed-duration probes: the trace must outlast the stability
 		// grace at every rate, or overload never accumulates.
-		n := o.size(max(600, int(rate*120)), 150)
+		n := o.Size(max(600, int(rate*120)), 150)
 		return workload.ShareGPT(431, n).WithPoissonArrivals(431+uint64(rate*100), rate)
 	}
 	lo, hi := 0.5, 60.0
@@ -198,7 +198,7 @@ func Sec6(o Opts) []Table {
 		SLO: metrics.SLO{TTFT: 500 * sim.Millisecond, TBT: 50 * sim.Millisecond},
 	}
 	mk := func(rate float64) *workload.Trace {
-		n := o.size(max(600, int(rate*120)), 150)
+		n := o.Size(max(600, int(rate*120)), 150)
 		return workload.ShareGPT(61, n).WithPoissonArrivals(61+uint64(rate*100), rate)
 	}
 	lo, hi := 0.5, 60.0

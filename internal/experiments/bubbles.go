@@ -22,7 +22,7 @@ func Sec442(o Opts) []Table {
 		Title:   "compute-stream bubble ratio at goodput load (Llama-8B, Tool&Agent)",
 		Columns: []string{"system", "bubble ratio%", "streams"},
 	}
-	sessions := o.size(400, 60)
+	sessions := o.Size(400, 60)
 	rate := 10.0
 	if o.Quick {
 		rate = 2.0

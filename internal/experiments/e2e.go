@@ -31,7 +31,7 @@ func fig14Cell(o Opts, cfg serve.Config, wl string, scale float64, seed uint64) 
 		Title:   fmt.Sprintf("P99 TTFT/TBT, %s on %s", cfg.Arch.Name, wl),
 		Columns: []string{"system", "p99 TTFT(s)", "p99 TBT(ms)", "TBT attain%", "state"},
 	}
-	sessions := o.size(1200, 120)
+	sessions := o.Size(1200, 120)
 	factories := Baselines()
 	rows := par.RunIndexed(len(fig14Systems), func(i int) []string {
 		name := fig14Systems[i]
@@ -97,7 +97,7 @@ func Tables34(o Opts) []Table {
 	if o.Quick {
 		cells = cells[:1]
 	}
-	sessions := o.size(1200, 120)
+	sessions := o.Size(1200, 120)
 	factories := Baselines()
 	for _, c := range cells {
 		t := Table{
@@ -149,7 +149,7 @@ func Fig15(o Opts) []Table {
 		cases = cases[1:]
 		cases[0].rates = []float64{0.1, 0.3}
 	}
-	sessions := o.size(700, 80)
+	sessions := o.Size(700, 80)
 	factories := Baselines()
 	for _, c := range cases {
 		t := Table{
@@ -232,7 +232,7 @@ func Table5(o Opts) []Table {
 	if o.Quick {
 		cases = cases[1:]
 	}
-	sessions := o.size(700, 80)
+	sessions := o.Size(700, 80)
 	factories := Baselines()
 	for _, c := range cases {
 		t := Table{

@@ -31,8 +31,10 @@ type Opts struct {
 	Quick bool
 }
 
-// size picks between full and quick scale.
-func (o Opts) size(full, quick int) int {
+// Size picks between full and quick scale — experiments (and external
+// harnesses like internal/frontier) size traces and sweeps through it so
+// -quick shrinks every axis consistently.
+func (o Opts) Size(full, quick int) int {
 	if o.Quick {
 		return quick
 	}
@@ -147,15 +149,20 @@ func Registry() []Experiment {
 	}
 }
 
-// ByID finds an experiment.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range Registry() {
+// Find looks an experiment up by ID in the given list — callers that
+// extend the registry (muxbench appends the frontier sweep) share the
+// one lookup path.
+func Find(list []Experiment, id string) (Experiment, bool) {
+	for _, e := range list {
 		if e.ID == id {
 			return e, true
 		}
 	}
 	return Experiment{}, false
 }
+
+// ByID finds an experiment in the built-in registry.
+func ByID(id string) (Experiment, bool) { return Find(Registry(), id) }
 
 // Baselines returns the engine factories compared in §4.2.
 func Baselines() map[string]serve.Factory {

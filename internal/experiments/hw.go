@@ -31,7 +31,7 @@ func Fig16(o Opts) []Table {
 	if o.Quick {
 		cases = cases[2:]
 	}
-	sessions := o.size(1000, 100)
+	sessions := o.Size(1000, 100)
 	var out []Table
 	for _, c := range cases {
 		for _, wl := range []string{"Conversation", "Tool&Agent"} {

@@ -76,7 +76,7 @@ func Fig5(o Opts) []Table {
 		Title:   "cache hit rate vs KV pool capacity (tokens), LRU",
 		Columns: []string{"capacity", "Conversation", "Tool&Agent"},
 	}
-	sessions := o.size(4000, 400)
+	sessions := o.Size(4000, 400)
 	traces := []*workload.Trace{
 		workload.Conversation(50, sessions).WithPoissonArrivals(50, 1),
 		workload.ToolAgent(51, sessions).WithPoissonArrivals(51, 1),

@@ -22,7 +22,7 @@ func Routers(o Opts) []Table {
 	// Even the quick scale keeps enough sessions to load the two-replica
 	// fleet past its SLO wall inside the searched range — lighter traces
 	// saturate at hi and the policies become indistinguishable.
-	sessions := o.size(120, 80)
+	sessions := o.Size(120, 80)
 	lo, hi := 2.0, 16.0
 	mk := func(scale float64) *workload.Trace {
 		return workload.Conversation(17, sessions).

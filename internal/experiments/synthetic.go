@@ -44,7 +44,7 @@ func Fig17(o Opts) []Table {
 		cases = cases[:1]
 		cases[0].rates = []float64{1, 3}
 	}
-	n := o.size(1600, 160)
+	n := o.Size(1600, 160)
 	factories := Baselines()
 	for _, c := range cases {
 		t := Table{
@@ -82,7 +82,7 @@ func Fig18(o Opts) []Table {
 		Title:   "mean SM share chosen by the dispatcher (Llama-70B)",
 		Columns: []string{"workload", "prefill share%", "decode share%", "distinct configs"},
 	}
-	n := o.size(800, 100)
+	n := o.Size(800, 100)
 	cases := []struct {
 		kind string
 		rate float64
@@ -119,7 +119,7 @@ func Fig18(o Opts) []Table {
 		Columns: []string{"window", "configs active"},
 	}
 	if !o.Quick {
-		tr := realTrace("Tool&Agent", scale70B*1.5, o.size(900, 100), 414)
+		tr := realTrace("Tool&Agent", scale70B*1.5, o.Size(900, 100), 414)
 		res := serve.Run(core.New, config70B(), tr)
 		maxIn30 := 0
 		for at := sim.Time(0); at < res.Summary.Makespan; at += 15 * sim.Second {
@@ -149,7 +149,7 @@ func Fig20(o Opts) []Table {
 		Title:   "TTFT per token with/without preemption (ShareGPT+LooGLE 50/50, 0.5 req/s, Llama-70B)",
 		Columns: []string{"variant", "p50(ms/tok)", "p90(ms/tok)", "p99(ms/tok)"},
 	}
-	n := o.size(600, 80)
+	n := o.Size(600, 80)
 	variants := []struct {
 		name string
 		opts core.Options

@@ -14,7 +14,7 @@ func Table1(o Opts) []Table {
 		Title:   "workload statistics (min/mean/max)",
 		Columns: []string{"workload", "input", "output", "reused"},
 	}
-	n := o.size(8000, 500)
+	n := o.Size(8000, 500)
 	traces := []*workload.Trace{
 		workload.ShareGPT(1, n),
 		workload.LooGLE(1, n/4),

@@ -1,0 +1,327 @@
+package frontier
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// -update rewrites the committed goldens from the current run:
+//
+//	go test ./internal/frontier -update
+//
+// Inspect the diff before committing — the goldens pin the
+// reproduction's physics, so an unexplained shift is a regression, not
+// noise.
+var update = flag.Bool("update", false, "rewrite testdata/frontier goldens from this run")
+
+// -frontier-report writes the run's full canonical report to a file —
+// CI uploads it as the per-commit trajectory artifact without paying
+// for a second sweep outside the test binary.
+var reportOut = flag.String("frontier-report", "", "also write the canonical FrontierReport JSON here")
+
+// The quick matrix runs once and is shared by every test in the package.
+var (
+	quickOnce sync.Once
+	quickRep  *Report
+	quickErr  error
+)
+
+func quickReport(t *testing.T) *Report {
+	t.Helper()
+	quickOnce.Do(func() {
+		quickRep, quickErr = Run(Default(true))
+	})
+	if quickErr != nil {
+		t.Fatalf("frontier quick matrix: %v", quickErr)
+	}
+	return quickRep
+}
+
+func goldenPath(condition string) string {
+	return filepath.Join("testdata", "frontier", condition+".golden.json")
+}
+
+// TestGolden pins every cell, frontier leader and crossover point of the
+// quick matrix against the committed per-condition goldens, within the
+// default tolerance bands.
+func TestGolden(t *testing.T) {
+	rep := quickReport(t)
+	if *reportOut != "" {
+		if err := rep.WriteFile(*reportOut); err != nil {
+			t.Fatalf("write -frontier-report: %v", err)
+		}
+	}
+	for _, cond := range rep.Grid.Conditions {
+		t.Run(cond, func(t *testing.T) {
+			got := rep.Filter(cond)
+			path := goldenPath(cond)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := got.WriteFile(path); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d cells)", path, len(got.Cells))
+				return
+			}
+			want, err := ReadFile(path)
+			if err != nil {
+				t.Fatalf("load golden (run with -update to regenerate): %v", err)
+			}
+			diffs := Compare(got, want, DefaultTolerance())
+			for _, d := range diffs {
+				t.Errorf("%s", d)
+			}
+			if len(diffs) > 0 {
+				t.Logf("%d mismatches against %s — if the shift is intentional, regenerate with -update", len(diffs), path)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip checks the canonical encoding is stable: a report
+// written and re-read compares clean against itself with zero tolerance
+// slack in play.
+func TestGoldenRoundTrip(t *testing.T) {
+	rep := quickReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "roundtrip.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(rep, back, Tolerance{Rel: 1e-12, CountRel: 1e-12, AttainmentAbs: 1e-12}); len(diffs) > 0 {
+		t.Fatalf("round-trip drifted: %v", diffs)
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("canonical JSON is not byte-stable across a write/read/write cycle")
+	}
+}
+
+// TestPaperShape asserts the acceptance shape on the steady-state
+// frontier, for every router: the aggregated baseline leads at the
+// lowest burst scale, a disaggregated or mixed fleet leads at the
+// highest, and the extracted crossover sits strictly inside the grid.
+func TestPaperShape(t *testing.T) {
+	rep := quickReport(t)
+	scales := rep.Grid.Scales
+	lo, hi := scales[0], scales[len(scales)-1]
+	base := rep.Grid.Baseline
+	for _, router := range rep.Grid.Routers {
+		t.Run(router, func(t *testing.T) {
+			f, ok := rep.frontier(Steady, router)
+			if !ok {
+				t.Fatalf("no steady frontier for router %s", router)
+			}
+			leaders := map[float64]string{}
+			for _, l := range f.Leaders {
+				leaders[l.Scale] = l.Composition
+			}
+			if got := leaders[lo]; got != base {
+				t.Errorf("at burst scale %g the leader is %s, want the %s baseline", lo, got, base)
+			}
+			if got := leaders[hi]; got == base || got == "" {
+				t.Errorf("at burst scale %g the leader is %q, want a disaggregated/mixed fleet to overtake %s", hi, got, base)
+			}
+			if f.Crossover <= lo || f.Crossover > hi {
+				t.Errorf("crossover scale %g outside the swept grid (%g, %g]", f.Crossover, lo, hi)
+			}
+		})
+	}
+}
+
+// TestMatrixValidate exercises the sweep-time configuration errors.
+func TestMatrixValidate(t *testing.T) {
+	base := Default(true)
+	cases := []struct {
+		name string
+		mut  func(*Matrix)
+	}{
+		{"no compositions", func(m *Matrix) { m.Compositions = nil }},
+		{"no routers", func(m *Matrix) { m.Routers = nil }},
+		{"no conditions", func(m *Matrix) { m.Conditions = nil }},
+		{"no scales", func(m *Matrix) { m.Scales = nil }},
+		{"zero sessions", func(m *Matrix) { m.Sessions = 0 }},
+		{"negative scale", func(m *Matrix) { m.Scales = []float64{-1} }},
+		{"duplicate scale", func(m *Matrix) { m.Scales = []float64{2, 0.5, 2} }},
+		{"unknown condition", func(m *Matrix) { m.Conditions = []string{"chaos"} }},
+		{"duplicate composition", func(m *Matrix) {
+			m.Compositions = append(m.Compositions, m.Compositions[0])
+		}},
+		{"baseline not configured", func(m *Matrix) { m.Baseline = "nope" }},
+		{"unnamed composition", func(m *Matrix) { m.Compositions[0].Name = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base
+			m.Compositions = append([]Composition(nil), base.Compositions...)
+			tc.mut(&m)
+			if _, err := Run(m); err == nil {
+				t.Fatalf("Run accepted an invalid matrix (%s)", tc.name)
+			}
+		})
+	}
+}
+
+// TestCompareTolerance exercises the comparator's bands on synthetic
+// reports, so golden failures are trustworthy in both directions.
+func TestCompareTolerance(t *testing.T) {
+	mk := func() *Report {
+		return &Report{
+			Schema: Schema,
+			Name:   "t",
+			Grid: Grid{
+				Compositions: []string{"a", "b"},
+				Baseline:     "a",
+				Conditions:   []string{Steady},
+				Routers:      []string{"least-tokens"},
+				Scales:       []float64{1, 2},
+				Sessions:     10,
+				Seed:         1,
+			},
+			Cells: []Cell{
+				{Condition: Steady, Router: "least-tokens", Composition: "a", Scale: 1,
+					GPUs: 2, GPUSeconds: 200, Offered: 100, OfferedRate: 1, WithinSLO: 90,
+					Goodput: 0.9, GoodputPerGPU: 0.45, Attainment: 0.99, CacheHit: 0.5},
+				{Condition: Steady, Router: "least-tokens", Composition: "b", Scale: 2,
+					GPUs: 4, GPUSeconds: 100, Offered: 100, OfferedRate: 4, WithinSLO: 80,
+					Goodput: 3.2, GoodputPerGPU: 0.8, Attainment: 0.97, CacheHit: 0.4},
+			},
+			Frontiers: []Frontier{{
+				Condition: Steady, Router: "least-tokens",
+				Leaders: []Leader{
+					{Scale: 1, Composition: "a", GoodputPerGPU: 0.45},
+					{Scale: 2, Composition: "b", GoodputPerGPU: 0.8},
+				},
+				Crossover: 2,
+			}},
+		}
+	}
+	if diffs := Compare(mk(), mk(), DefaultTolerance()); len(diffs) > 0 {
+		t.Fatalf("identical reports diff: %v", diffs)
+	}
+
+	within := mk()
+	within.Cells[0].Goodput *= 1.01     // inside the 2% band
+	within.Cells[0].WithinSLO += 2      // inside the count slack
+	within.Cells[1].Attainment -= 0.015 // inside the attainment band
+	if diffs := Compare(within, mk(), DefaultTolerance()); len(diffs) > 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", diffs)
+	}
+
+	for name, mut := range map[string]func(*Report){
+		"goodput shift":      func(r *Report) { r.Cells[0].Goodput *= 1.10 },
+		"goodput/gpu shift":  func(r *Report) { r.Cells[1].GoodputPerGPU *= 0.5 },
+		"count shift":        func(r *Report) { r.Cells[0].WithinSLO -= 20 },
+		"attainment shift":   func(r *Report) { r.Cells[1].Attainment -= 0.1 },
+		"stability flip":     func(r *Report) { r.Cells[0].Unstable = true },
+		"crossover shift":    func(r *Report) { r.Frontiers[0].Crossover = 1 },
+		"leader change":      func(r *Report) { r.Frontiers[0].Leaders[1].Composition = "a" },
+		"missing cell":       func(r *Report) { r.Cells = r.Cells[:1] },
+		"offered change":     func(r *Report) { r.Cells[0].Offered = 99 },
+		"gpu budget change":  func(r *Report) { r.Cells[0].GPUs = 3 },
+		"failure count":      func(r *Report) { r.Cells[0].Failures = 1 },
+		"schema bump":        func(r *Report) { r.Schema = "muxwise/frontier/v0" },
+		"grid scale change":  func(r *Report) { r.Grid.Scales = []float64{1, 3} },
+		"extra cell":         func(r *Report) { c := r.Cells[0]; c.Scale = 7; r.Cells = append(r.Cells, c) },
+		"frontier dropped":   func(r *Report) { r.Frontiers = nil },
+		"cache regression":   func(r *Report) { r.Cells[0].CacheHit = 0.1 },
+		"gpu-seconds change": func(r *Report) { r.Cells[0].GPUSeconds *= 2 },
+	} {
+		got := mk()
+		mut(got)
+		if diffs := Compare(got, mk(), DefaultTolerance()); len(diffs) == 0 {
+			t.Errorf("%s: comparator saw no difference", name)
+		}
+	}
+}
+
+// TestScalesCanonicalOrder: the grid is swept sorted ascending no
+// matter how the matrix lists it — "smallest crossover scale" reads off
+// grid order, so ordering is semantics.
+func TestScalesCanonicalOrder(t *testing.T) {
+	m := Default(true)
+	m.Scales = []float64{4, 0.5, 2}
+	got := m.withDefaults().Scales
+	want := []float64{0.5, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("scales %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scales %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCrossoverZeroTie: a scale where neither the baseline nor any
+// challenger delivered a single within-SLO request is not a crossover —
+// the challenger must actually produce goodput to overtake.
+func TestCrossoverZeroTie(t *testing.T) {
+	mkCell := func(comp string, scale, perGPU float64) Cell {
+		return Cell{Condition: Steady, Router: "least-tokens", Composition: comp,
+			Scale: scale, GoodputPerGPU: perGPU}
+	}
+	rep := &Report{
+		Grid: Grid{
+			Compositions: []string{"agg", "dis"},
+			Baseline:     "agg",
+			Conditions:   []string{Steady},
+			Routers:      []string{"least-tokens"},
+			Scales:       []float64{1, 2},
+		},
+		Cells: []Cell{
+			mkCell("agg", 1, 0), mkCell("dis", 1, 0), // dead tie: no crossover
+			mkCell("agg", 2, 0.1), mkCell("dis", 2, 0.4),
+		},
+	}
+	rep.extractFrontiers("agg")
+	f, ok := rep.frontier(Steady, "least-tokens")
+	if !ok {
+		t.Fatal("no frontier extracted")
+	}
+	if f.Crossover != 2 {
+		t.Fatalf("crossover %g, want 2 (the 0-vs-0 tie at scale 1 must not count)", f.Crossover)
+	}
+}
+
+// TestFilter checks the per-condition golden granularity keeps only its
+// condition's cells and frontiers.
+func TestFilter(t *testing.T) {
+	rep := quickReport(t)
+	for _, cond := range rep.Grid.Conditions {
+		f := rep.Filter(cond)
+		if len(f.Grid.Conditions) != 1 || f.Grid.Conditions[0] != cond {
+			t.Fatalf("Filter(%q) grid conditions = %v", cond, f.Grid.Conditions)
+		}
+		if len(f.Cells) == 0 {
+			t.Fatalf("Filter(%q) dropped every cell", cond)
+		}
+		for _, c := range f.Cells {
+			if c.Condition != cond {
+				t.Fatalf("Filter(%q) kept cell %s", cond, c.key())
+			}
+		}
+		for _, fr := range f.Frontiers {
+			if fr.Condition != cond {
+				t.Fatalf("Filter(%q) kept frontier %s/%s", cond, fr.Condition, fr.Router)
+			}
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package frontier
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Schema versions the report layout; bump it when a field changes
+// meaning so stale goldens fail loudly instead of silently comparing
+// different physics.
+const Schema = "muxwise/frontier/v1"
+
+// precision is the fixed decimal precision every float in a canonical
+// report is rounded to, so reports marshal byte-identically across runs
+// and platforms.
+const precision = 1e6
+
+// round fixes a float to the report precision.
+func round(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*precision) / precision
+}
+
+// roundAll fixes a slice of floats to the report precision.
+func roundAll(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = round(v)
+	}
+	return out
+}
+
+// Grid echoes the swept axes so a report is self-describing and a golden
+// diff against a changed matrix fails on the grid, not cell by cell.
+type Grid struct {
+	Compositions []string  `json:"compositions"`
+	Baseline     string    `json:"baseline"`
+	Conditions   []string  `json:"conditions"`
+	Routers      []string  `json:"routers"`
+	Scales       []float64 `json:"scales"`
+	Sessions     int       `json:"sessions"`
+	Seed         uint64    `json:"seed"`
+}
+
+// Cell is one point of the sweep: a composition serving the Fig. 13 mix
+// at one burst scale under one condition and router.
+type Cell struct {
+	Condition   string  `json:"condition"`
+	Router      string  `json:"router"`
+	Composition string  `json:"composition"`
+	Scale       float64 `json:"scale"`
+
+	// GPUs is the initial fleet's device total; GPUSeconds integrates
+	// the devices actually provisioned over the offered window (they
+	// differ under failures and autoscaling).
+	GPUs       int     `json:"gpus"`
+	GPUSeconds float64 `json:"gpu_seconds"`
+
+	// Offered counts trace requests; OfferedRate is over the arrival
+	// span. WithinSLO counts requests that finished with TTFT and every
+	// TBT inside the SLO — the goodput numerator.
+	Offered     int     `json:"offered"`
+	OfferedRate float64 `json:"offered_rate"`
+	WithinSLO   int     `json:"within_slo"`
+
+	// Goodput is within-SLO requests per second; GoodputPerGPU
+	// normalises by GPU-seconds — the frontier's y-axis.
+	Goodput       float64 `json:"goodput"`
+	GoodputPerGPU float64 `json:"goodput_per_gpu"`
+
+	// Attainment is the run's TBT-sample attainment (the §4 criterion's
+	// ingredient); CacheHit the fleet prefix-cache hit rate.
+	Attainment float64 `json:"attainment"`
+	CacheHit   float64 `json:"cache_hit"`
+
+	Unstable bool `json:"unstable"`
+	Failures int  `json:"failures"`
+}
+
+// key returns the cell's canonical identity.
+func (c Cell) key() string {
+	return fmt.Sprintf("%s/%s/%s@%g", c.Condition, c.Router, c.Composition, c.Scale)
+}
+
+// Leader is the composition with the highest goodput-per-GPU at one
+// burst scale of a frontier.
+type Leader struct {
+	Scale         float64 `json:"scale"`
+	Composition   string  `json:"composition"`
+	GoodputPerGPU float64 `json:"goodput_per_gpu"`
+}
+
+// Frontier is the per-(condition, router) reduction of the sweep: the
+// leading composition at every burst scale and the crossover point — the
+// smallest scale at which a non-baseline composition's goodput-per-GPU
+// reaches the baseline's (0 when the baseline is never overtaken).
+type Frontier struct {
+	Condition string   `json:"condition"`
+	Router    string   `json:"router"`
+	Leaders   []Leader `json:"leaders"`
+	Crossover float64  `json:"crossover_scale"`
+}
+
+// Report is the canonical result of a frontier sweep: cells sorted by
+// (condition, router, composition, scale), every float fixed to report
+// precision, and the frontier reductions extracted — ready to diff
+// against a committed golden.
+type Report struct {
+	Schema    string     `json:"schema"`
+	Name      string     `json:"name"`
+	Grid      Grid       `json:"grid"`
+	Cells     []Cell     `json:"cells"`
+	Frontiers []Frontier `json:"frontiers"`
+}
+
+// canonicalize sorts the cells into golden order.
+func (r *Report) canonicalize() {
+	sort.Slice(r.Cells, func(i, j int) bool {
+		a, b := r.Cells[i], r.Cells[j]
+		if a.Condition != b.Condition {
+			return a.Condition < b.Condition
+		}
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		if a.Composition != b.Composition {
+			return a.Composition < b.Composition
+		}
+		return a.Scale < b.Scale
+	})
+}
+
+// extractFrontiers reduces the cells to per-(condition, router) leader
+// tracks and crossover points against the baseline composition.
+func (r *Report) extractFrontiers(baseline string) {
+	r.Frontiers = nil
+	for _, cond := range r.Grid.Conditions {
+		for _, router := range r.Grid.Routers {
+			f := Frontier{Condition: cond, Router: router}
+			for _, scale := range r.Grid.Scales {
+				base, baseOK := r.cell(cond, router, baseline, scale)
+				var lead *Cell
+				var challenger *Cell
+				for i := range r.Cells {
+					c := &r.Cells[i]
+					if c.Condition != cond || c.Router != router || c.Scale != scale {
+						continue
+					}
+					if lead == nil || c.GoodputPerGPU > lead.GoodputPerGPU {
+						lead = c
+					}
+					if c.Composition != baseline &&
+						(challenger == nil || c.GoodputPerGPU > challenger.GoodputPerGPU) {
+						challenger = c
+					}
+				}
+				if lead == nil {
+					continue
+				}
+				f.Leaders = append(f.Leaders, Leader{
+					Scale:         scale,
+					Composition:   lead.Composition,
+					GoodputPerGPU: lead.GoodputPerGPU,
+				})
+				// A crossover needs the challenger to actually deliver:
+				// a 0-vs-0 tie (nothing met the SLO anywhere) is not the
+				// baseline being overtaken.
+				if f.Crossover == 0 && baseOK && challenger != nil &&
+					challenger.GoodputPerGPU > 0 &&
+					challenger.GoodputPerGPU >= base.GoodputPerGPU {
+					f.Crossover = scale
+				}
+			}
+			r.Frontiers = append(r.Frontiers, f)
+		}
+	}
+}
+
+// cell looks up one cell by identity.
+func (r *Report) cell(cond, router, comp string, scale float64) (*Cell, bool) {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Condition == cond && c.Router == router &&
+			c.Composition == comp && c.Scale == scale {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// frontier looks up one frontier by identity.
+func (r *Report) frontier(cond, router string) (*Frontier, bool) {
+	for i := range r.Frontiers {
+		f := &r.Frontiers[i]
+		if f.Condition == cond && f.Router == router {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Filter returns a copy of the report restricted to one condition (the
+// per-condition golden granularity).
+func (r *Report) Filter(condition string) *Report {
+	out := &Report{Schema: r.Schema, Name: r.Name, Grid: r.Grid}
+	out.Grid.Conditions = []string{condition}
+	for _, c := range r.Cells {
+		if c.Condition == condition {
+			out.Cells = append(out.Cells, c)
+		}
+	}
+	for _, f := range r.Frontiers {
+		if f.Condition == condition {
+			out.Frontiers = append(out.Frontiers, f)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the canonical indented JSON encoding.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the canonical encoding to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a report written by WriteFile (a committed golden).
+func ReadFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("frontier: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Tolerance bounds how far a report may drift from a golden before the
+// comparison fails. Runs are deterministic, so the bands exist to absorb
+// floating-point divergence across platforms and Go releases — not to
+// hide regressions: identity fields (grid, leaders, crossover, stability)
+// always compare exactly.
+type Tolerance struct {
+	// Rel bounds the relative error of rate/goodput floats (default 2%).
+	Rel float64
+	// CountRel bounds the relative error of sample counts such as
+	// WithinSLO (default 3%, with an absolute slack of 2 requests).
+	CountRel float64
+	// AttainmentAbs bounds absolute drift of attainment and cache-hit
+	// fractions (default 0.02).
+	AttainmentAbs float64
+}
+
+// DefaultTolerance is the band the golden tests compare under.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Rel: 0.02, CountRel: 0.03, AttainmentAbs: 0.02}
+}
+
+// withDefaults resolves zero-valued bands.
+func (t Tolerance) withDefaults() Tolerance {
+	d := DefaultTolerance()
+	if t.Rel <= 0 {
+		t.Rel = d.Rel
+	}
+	if t.CountRel <= 0 {
+		t.CountRel = d.CountRel
+	}
+	if t.AttainmentAbs <= 0 {
+		t.AttainmentAbs = d.AttainmentAbs
+	}
+	return t
+}
+
+// relOK reports whether got is within rel of want.
+func relOK(got, want, rel float64) bool {
+	diff := math.Abs(got - want)
+	if diff == 0 {
+		return true
+	}
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= rel*scale
+}
+
+// countOK reports whether an integer count is within the band.
+func countOK(got, want int, rel float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff <= 2 {
+		return true
+	}
+	lim := int(math.Ceil(rel * math.Max(float64(got), float64(want))))
+	return diff <= lim
+}
+
+// Compare diffs a report against a golden under the tolerance bands and
+// returns human-readable mismatches (empty means the reports agree).
+func Compare(got, want *Report, tol Tolerance) []string {
+	tol = tol.withDefaults()
+	var diffs []string
+	addf := func(format string, args ...any) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	if got.Schema != want.Schema {
+		addf("schema: got %q, golden %q", got.Schema, want.Schema)
+		return diffs
+	}
+	if got.Name != want.Name {
+		addf("name: got %q, golden %q", got.Name, want.Name)
+	}
+	if gg, wg := fmt.Sprintf("%+v", got.Grid), fmt.Sprintf("%+v", want.Grid); gg != wg {
+		addf("grid: got %s, golden %s", gg, wg)
+		return diffs
+	}
+
+	wantCells := map[string]Cell{}
+	for _, c := range want.Cells {
+		wantCells[c.key()] = c
+	}
+	seen := map[string]bool{}
+	for _, g := range got.Cells {
+		k := g.key()
+		seen[k] = true
+		w, ok := wantCells[k]
+		if !ok {
+			addf("cell %s: not in golden", k)
+			continue
+		}
+		if g.GPUs != w.GPUs {
+			addf("cell %s: gpus got %d, golden %d", k, g.GPUs, w.GPUs)
+		}
+		if g.Offered != w.Offered {
+			addf("cell %s: offered got %d, golden %d", k, g.Offered, w.Offered)
+		}
+		if !countOK(g.WithinSLO, w.WithinSLO, tol.CountRel) {
+			addf("cell %s: within_slo got %d, golden %d (count tolerance %.0f%%)",
+				k, g.WithinSLO, w.WithinSLO, tol.CountRel*100)
+		}
+		for _, f := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"offered_rate", g.OfferedRate, w.OfferedRate},
+			{"goodput", g.Goodput, w.Goodput},
+			{"goodput_per_gpu", g.GoodputPerGPU, w.GoodputPerGPU},
+			{"gpu_seconds", g.GPUSeconds, w.GPUSeconds},
+		} {
+			if !relOK(f.got, f.want, tol.Rel) {
+				addf("cell %s: %s got %.6f, golden %.6f (tolerance %.0f%%)",
+					k, f.name, f.got, f.want, tol.Rel*100)
+			}
+		}
+		for _, f := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"attainment", g.Attainment, w.Attainment},
+			{"cache_hit", g.CacheHit, w.CacheHit},
+		} {
+			if math.Abs(f.got-f.want) > tol.AttainmentAbs {
+				addf("cell %s: %s got %.4f, golden %.4f (tolerance ±%.2f)",
+					k, f.name, f.got, f.want, tol.AttainmentAbs)
+			}
+		}
+		if g.Unstable != w.Unstable {
+			addf("cell %s: unstable got %v, golden %v", k, g.Unstable, w.Unstable)
+		}
+		if g.Failures != w.Failures {
+			addf("cell %s: failures got %d, golden %d", k, g.Failures, w.Failures)
+		}
+	}
+	for k := range wantCells {
+		if !seen[k] {
+			addf("cell %s: in golden but not produced", k)
+		}
+	}
+
+	for _, wf := range want.Frontiers {
+		gf, ok := got.frontier(wf.Condition, wf.Router)
+		if !ok {
+			addf("frontier %s/%s: not produced", wf.Condition, wf.Router)
+			continue
+		}
+		if gf.Crossover != wf.Crossover {
+			addf("frontier %s/%s: crossover scale got %g, golden %g",
+				wf.Condition, wf.Router, gf.Crossover, wf.Crossover)
+		}
+		if len(gf.Leaders) != len(wf.Leaders) {
+			addf("frontier %s/%s: %d leaders, golden %d",
+				wf.Condition, wf.Router, len(gf.Leaders), len(wf.Leaders))
+			continue
+		}
+		for i, wl := range wf.Leaders {
+			gl := gf.Leaders[i]
+			if gl.Scale != wl.Scale || gl.Composition != wl.Composition {
+				addf("frontier %s/%s@%g: leader got %s, golden %s",
+					wf.Condition, wf.Router, wl.Scale, gl.Composition, wl.Composition)
+			}
+			if !relOK(gl.GoodputPerGPU, wl.GoodputPerGPU, tol.Rel) {
+				addf("frontier %s/%s@%g: leader goodput/GPU got %.6f, golden %.6f",
+					wf.Condition, wf.Router, wl.Scale, gl.GoodputPerGPU, wl.GoodputPerGPU)
+			}
+		}
+	}
+	for _, gf := range got.Frontiers {
+		if _, ok := want.frontier(gf.Condition, gf.Router); !ok {
+			addf("frontier %s/%s: not in golden", gf.Condition, gf.Router)
+		}
+	}
+	return diffs
+}

@@ -277,6 +277,36 @@ func (r *Recorder) TBTAttainment(slo sim.Time) float64 {
 	return float64(ok) / float64(len(r.tbt))
 }
 
+// WithinSLO returns how many requests met the SLO end to end: finished,
+// first token within slo.TTFT, and every inter-token gap within slo.TBT.
+// It is the per-request conformance count behind DistServe-style goodput
+// (requests per second that meet their SLO); dividing by the offered
+// span turns it into the frontier's goodput numerator. A zero TTFT or
+// TBT target disables that half of the check.
+func (r *Recorder) WithinSLO(slo SLO) int {
+	bad := map[int]bool{}
+	if slo.TBT > 0 {
+		target := slo.TBT.Seconds()
+		for _, s := range r.tbt {
+			if s.v > target {
+				bad[s.id] = true
+			}
+		}
+	}
+	n := 0
+	for _, id := range r.ids {
+		rec := r.reqs[id]
+		if !rec.done || rec.firstToken < 0 || bad[id] {
+			continue
+		}
+		if slo.TTFT > 0 && rec.firstToken-rec.arrival > slo.TTFT {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
 // TTFTAttainment returns the fraction of first tokens within the SLO.
 func (r *Recorder) TTFTAttainment(slo sim.Time) float64 {
 	total, ok := 0, 0

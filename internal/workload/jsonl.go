@@ -5,10 +5,34 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"muxwise/internal/kvcache"
 	"muxwise/internal/sim"
+)
+
+// Sanity bounds on loaded traces. JSON numbers can carry values no
+// generator would emit (a 2^60-token request, a year-long arrival gap),
+// and page-sequence reconstruction allocates proportionally to the token
+// counts — so a loader fed hostile or corrupt input must reject rather
+// than arrive at an OOM or a simulation that never ends.
+const (
+	// maxJSONLTokens bounds a single request's input and output token
+	// counts (~17× the largest model context simulated here).
+	maxJSONLTokens = 1 << 21
+	// maxJSONLTotalTokens budgets input+output tokens across the whole
+	// trace, bounding page reconstruction to tens of MB no matter how
+	// many near-cap lines the input stacks up (~4× the largest
+	// paper-scale trace).
+	maxJSONLTotalTokens = 1 << 26
+	// maxJSONLArrivalSeconds bounds arrival timestamps (~3 simulated
+	// years; real traces span minutes).
+	maxJSONLArrivalSeconds = 1e8
+	// maxJSONLRequests bounds the request count, so a flood of minimal
+	// lines cannot build an unbounded trace under the token budget
+	// (~250× the paper-scale bursty mix).
+	maxJSONLRequests = 1 << 20
 )
 
 // jsonlRecord is the on-disk form of one request. KV page identities are
@@ -54,6 +78,8 @@ func ReadJSONL(r io.Reader, name string) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
+	seen := map[int]bool{}
+	var totalTokens int64
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -67,8 +93,27 @@ func ReadJSONL(r io.Reader, name string) (*Trace, error) {
 		if rec.Input < 1 || rec.Output < 1 {
 			return nil, fmt.Errorf("workload: line %d: input and output tokens must be ≥1", line)
 		}
+		if rec.Input > maxJSONLTokens || rec.Output > maxJSONLTokens {
+			return nil, fmt.Errorf("workload: line %d: token count exceeds %d", line, maxJSONLTokens)
+		}
 		if rec.Reused < 0 || rec.Reused >= rec.Input {
 			return nil, fmt.Errorf("workload: line %d: reused tokens %d outside [0,%d)", line, rec.Reused, rec.Input)
+		}
+		if math.IsNaN(rec.Arrival) || rec.Arrival < 0 || rec.Arrival > maxJSONLArrivalSeconds {
+			return nil, fmt.Errorf("workload: line %d: arrival %v outside [0,%g] seconds", line, rec.Arrival, float64(maxJSONLArrivalSeconds))
+		}
+		// Request IDs must be unique: recorders key on them, and a fleet
+		// run merging per-replica recorders panics on a duplicate — reject
+		// at load time instead of crashing mid-simulation.
+		if seen[rec.ID] {
+			return nil, fmt.Errorf("workload: line %d: duplicate request id %d", line, rec.ID)
+		}
+		seen[rec.ID] = true
+		if totalTokens += int64(rec.Input) + int64(rec.Output); totalTokens > maxJSONLTotalTokens {
+			return nil, fmt.Errorf("workload: line %d: trace exceeds the %d-token budget", line, int64(maxJSONLTotalTokens))
+		}
+		if len(tr.Requests) >= maxJSONLRequests {
+			return nil, fmt.Errorf("workload: line %d: trace exceeds %d requests", line, maxJSONLRequests)
 		}
 		stream := 0xFEED<<40 | uint64(rec.Session)
 		tr.Requests = append(tr.Requests, &Request{

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -73,6 +74,15 @@ func TestReadJSONLValidation(t *testing.T) {
 		`{"id":0,"session":0,"input_tokens":10,"output_tokens":0}`,
 		`{"id":0,"session":0,"input_tokens":10,"reused_tokens":10,"output_tokens":5}`,
 		`{not json}`,
+		// Out-of-bounds numerics: oversized tokens, negative or absurd
+		// arrivals. Each must error, not allocate or wrap.
+		`{"id":0,"session":0,"input_tokens":2097153,"output_tokens":5}`,
+		`{"id":0,"session":0,"input_tokens":10,"output_tokens":2097153}`,
+		`{"id":0,"session":0,"input_tokens":10,"output_tokens":5,"arrival_s":-1}`,
+		`{"id":0,"session":0,"input_tokens":10,"output_tokens":5,"arrival_s":2e8}`,
+		// Duplicate request IDs would panic metrics.Merge in a fleet run.
+		`{"id":7,"session":0,"input_tokens":10,"output_tokens":5}` + "\n" +
+			`{"id":7,"session":1,"input_tokens":10,"output_tokens":5}`,
 	}
 	for _, c := range cases {
 		if _, err := ReadJSONL(strings.NewReader(c), "bad"); err == nil {
@@ -84,6 +94,21 @@ func TestReadJSONLValidation(t *testing.T) {
 	tr, err := ReadJSONL(strings.NewReader(ok), "ok")
 	if err != nil || tr.Len() != 1 {
 		t.Fatalf("ReadJSONL valid input: %v, len %d", err, tr.Len())
+	}
+}
+
+func TestReadJSONLTotalTokenBudget(t *testing.T) {
+	// Every line is inside the per-request cap, but stacked up they
+	// cross the trace-wide budget — the loader must reject instead of
+	// reconstructing page sequences without bound.
+	var b strings.Builder
+	perLine := 2 * maxJSONLTokens // input + output, both at the cap
+	for i := 0; i <= maxJSONLTotalTokens/perLine; i++ {
+		fmt.Fprintf(&b, `{"id":%d,"session":%d,"input_tokens":%d,"output_tokens":%d,"arrival_s":%d}`+"\n",
+			i, i, maxJSONLTokens, maxJSONLTokens, i)
+	}
+	if _, err := ReadJSONL(strings.NewReader(b.String()), "budget"); err == nil {
+		t.Fatal("ReadJSONL accepted a trace past the total token budget")
 	}
 }
 
