@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"muxwise/internal/frontier"
+)
+
+// synthetic builds a two-condition report with the drain pair present.
+func synthetic() *frontier.Report {
+	mkCell := func(cond, router, comp string, scale, perGPU float64, within int) frontier.Cell {
+		return frontier.Cell{Condition: cond, Router: router, Composition: comp,
+			Scale: scale, GoodputPerGPU: perGPU, WithinSLO: within}
+	}
+	return &frontier.Report{
+		Schema: frontier.Schema,
+		Name:   "synthetic",
+		Grid: frontier.Grid{
+			Compositions: []string{"aggregated", "mixed"},
+			Baseline:     "aggregated",
+			Conditions:   []string{frontier.Drain, frontier.DrainMigrate},
+			Routers:      []string{"least-tokens"},
+			Scales:       []float64{1, 2},
+			Sessions:     10,
+			Seed:         1,
+		},
+		Cells: []frontier.Cell{
+			mkCell(frontier.Drain, "least-tokens", "aggregated", 1, 0.4, 40),
+			mkCell(frontier.Drain, "least-tokens", "mixed", 1, 0.3, 30),
+			mkCell(frontier.Drain, "least-tokens", "aggregated", 2, 0.2, 20),
+			mkCell(frontier.Drain, "least-tokens", "mixed", 2, 0.5, 50),
+			mkCell(frontier.DrainMigrate, "least-tokens", "aggregated", 1, 0.45, 45),
+			mkCell(frontier.DrainMigrate, "least-tokens", "mixed", 1, 0.35, 35),
+			mkCell(frontier.DrainMigrate, "least-tokens", "aggregated", 2, 0.25, 25),
+			mkCell(frontier.DrainMigrate, "least-tokens", "mixed", 2, 0.55, 55),
+		},
+		Frontiers: []frontier.Frontier{
+			{Condition: frontier.Drain, Router: "least-tokens",
+				Leaders: []frontier.Leader{
+					{Scale: 1, Composition: "aggregated", GoodputPerGPU: 0.4},
+					{Scale: 2, Composition: "mixed", GoodputPerGPU: 0.5},
+				}, Crossover: 2},
+			{Condition: frontier.DrainMigrate, Router: "least-tokens",
+				Leaders: []frontier.Leader{
+					{Scale: 1, Composition: "aggregated", GoodputPerGPU: 0.45},
+					{Scale: 2, Composition: "mixed", GoodputPerGPU: 0.55},
+				}, Crossover: 2},
+		},
+	}
+}
+
+func TestASCIIPanels(t *testing.T) {
+	var buf bytes.Buffer
+	writeASCII(&buf, synthetic())
+	out := buf.String()
+	for _, want := range []string{
+		"condition=drain router=least-tokens",
+		"condition=drain-migrate router=least-tokens",
+		"a=aggregated", "m=mixed",
+		"crossover at burst scale 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownSummary(t *testing.T) {
+	var buf bytes.Buffer
+	writeMarkdown(&buf, synthetic())
+	out := buf.String()
+	for _, want := range []string{
+		"#### drain",
+		"#### drain-migrate",
+		"| least-tokens |",
+		// 45+35+25+55 = 160 migrated vs 40+30+20+50 = 140 drained.
+		"**KV migration on drains:** 160 within-SLO requests vs 140 under re-prefill (+20 across the grid).",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSVGWellFormed: the chart must parse as XML (CI publishes it as an
+// artifact; a malformed file would render blank without failing a job).
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	writeSVG(&buf, synthetic())
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "burst scale") {
+		t.Error("SVG lacks series polylines or axis labels")
+	}
+}

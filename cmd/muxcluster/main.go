@@ -16,10 +16,19 @@
 //
 // Scenarios exercise the lifecycle-managed fleet: "failure" crashes
 // replica 0 mid-run (in-flight and sticky-session requests re-route and
-// pay a KV re-prefill on their new replicas), "autoscale" grows the
-// fleet from -min-replicas on backlog pressure, and "hetero" runs a
+// pay a KV re-prefill on their new replicas), "drain" rolls replica 0
+// out gracefully behind a pre-spawned replacement, "autoscale" grows
+// the fleet from -min-replicas on backlog pressure, and "hetero" runs a
 // mixed A100+H100 fleet so each shape is costed by its own hardware
 // model. Fleet runs print a lifecycle log and a per-epoch rollup table.
+//
+// -migration streams session KV off gracefully leaving replicas (drain,
+// autoscale scale-in, retire) to the replica their traffic re-routes
+// to, at the modeled NVLink/PCIe cost, instead of charging a full KV
+// re-prefill — compare:
+//
+//	muxcluster -scenario drain -drain-at 1m
+//	muxcluster -scenario drain -drain-at 1m -migration
 package main
 
 import (
@@ -133,21 +142,38 @@ func buildTrace(wl string, seed uint64, n int, scale, rate float64) (*muxwise.Tr
 type scenarioOpts struct {
 	name       string
 	failAt     time.Duration
+	drainAt    time.Duration
 	minReps    int
 	maxReps    int
 	coldStart  time.Duration
 	autoscaler string
+	migration  bool
 }
 
 // applyScenario rewrites the deployment for the requested scenario.
 func applyScenario(dep *muxwise.ClusterDeployment, specFlagSet bool, o scenarioOpts) error {
 	switch o.name {
 	case "":
-		return nil
 	case "failure":
 		dep.Fleet = &muxwise.FleetOptions{
 			Events: []muxwise.FleetEvent{
 				{At: muxwise.FromDuration(o.failAt), Kind: "fail", Replica: 0},
+			},
+		}
+	case "drain":
+		// A rolling drain: a replacement of the first shape spawns so it
+		// is ready ahead of the drain, then replica 0 leaves gracefully.
+		// With -migration its session KV streams to the re-routed
+		// replicas; without, their next turns repay a full re-prefill.
+		spawnAt := o.drainAt - o.coldStart - 2*time.Second
+		if spawnAt < 0 {
+			spawnAt = 0
+		}
+		dep.Fleet = &muxwise.FleetOptions{
+			ColdStart: muxwise.FromDuration(o.coldStart),
+			Events: []muxwise.FleetEvent{
+				{At: muxwise.FromDuration(spawnAt), Kind: "spawn"},
+				{At: muxwise.FromDuration(o.drainAt), Kind: "drain", Replica: 0},
 			},
 		}
 	case "autoscale":
@@ -180,7 +206,13 @@ func applyScenario(dep *muxwise.ClusterDeployment, specFlagSet bool, o scenarioO
 			return fmt.Errorf("scenario hetero wants mixed hardware; tag shapes with /A100, /H100 or /H200")
 		}
 	default:
-		return fmt.Errorf("unknown scenario %q (want autoscale, failure, or hetero)", o.name)
+		return fmt.Errorf("unknown scenario %q (want autoscale, drain, failure, or hetero)", o.name)
+	}
+	if o.migration {
+		if dep.Fleet == nil {
+			dep.Fleet = &muxwise.FleetOptions{}
+		}
+		dep.Fleet.Migration = true
 	}
 	return nil
 }
@@ -198,9 +230,14 @@ type routerRow struct {
 	Unstable   bool
 	Failures   int `json:",omitempty"`
 	Unrouted   int `json:",omitempty"`
-	Replicas   []replicaRow
-	Epochs     []epochRow `json:",omitempty"`
-	Events     []string   `json:",omitempty"`
+	// Migration accounting (KV streamed on graceful takedowns).
+	MigratedKVTokens   int64   `json:",omitempty"`
+	MigrationStreams   int     `json:",omitempty"`
+	MigrationStallSecs float64 `json:",omitempty"`
+	RePrefillKVTokens  int64   `json:",omitempty"`
+	Replicas           []replicaRow
+	Epochs             []epochRow `json:",omitempty"`
+	Events             []string   `json:",omitempty"`
 }
 
 type replicaRow struct {
@@ -236,6 +273,11 @@ func rowOf(name string, res muxwise.ClusterResult, tbtSLO muxwise.Time) routerRo
 		Unstable:   res.Summary.Unstable,
 		Failures:   res.Failures,
 		Unrouted:   res.Unrouted,
+
+		MigratedKVTokens:   res.Migration.MigratedTokens,
+		MigrationStreams:   res.Migration.Streams,
+		MigrationStallSecs: res.Migration.Stall.Seconds(),
+		RePrefillKVTokens:  res.Migration.RePrefillTokens + res.Migration.CanceledTokens,
 	}
 	for _, rep := range res.Replicas {
 		row.Replicas = append(row.Replicas, replicaRow{
@@ -338,11 +380,15 @@ func main() {
 	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS][/HW],...")
 	router := flag.String("router", "prefix-affinity",
 		"router policy ("+strings.Join(muxwise.RouterPolicies(), ", ")+") or 'all'")
-	scenario := flag.String("scenario", "", "fleet scenario: autoscale, failure, or hetero")
+	scenario := flag.String("scenario", "", "fleet scenario: autoscale, drain, failure, or hetero")
 	failAt := flag.Duration("fail-at", time.Minute, "failure scenario: when replica 0 crashes")
+	drainAt := flag.Duration("drain-at", time.Minute, "drain scenario: when replica 0 drains (its replacement spawns ahead)")
+	migration := flag.Bool("migration", false,
+		"stream session KV off gracefully leaving replicas at the modeled NVLink/PCIe cost instead of re-prefilling")
 	minReps := flag.Int("min-replicas", 1, "autoscale scenario: starting and minimum fleet size")
 	maxReps := flag.Int("max-replicas", 8, "autoscale scenario: maximum fleet size")
-	coldStart := flag.Duration("cold-start", 15*time.Second, "autoscale scenario: spawn-to-ready delay")
+	coldStart := flag.Duration("cold-start", 15*time.Second,
+		"autoscale/drain scenarios: spawn-to-ready delay (drain places the replacement spawn this far ahead)")
 	autoscaler := flag.String("autoscaler", "backlog",
 		"autoscale scenario policy ("+strings.Join(muxwise.AutoscalerPolicies(), ", ")+")")
 	mdl := flag.String("model", "Llama-8B", "model name")
@@ -383,8 +429,8 @@ func main() {
 		// Goodput mode builds its own traces per probe; the single
 		// default trace below is never used.
 		if err := runGoodput(*goodput, routers, specs, scenarioOpts{
-			name: *scenario, failAt: *failAt, minReps: *minReps, maxReps: *maxReps,
-			coldStart: *coldStart, autoscaler: *autoscaler,
+			name: *scenario, failAt: *failAt, drainAt: *drainAt, minReps: *minReps, maxReps: *maxReps,
+			coldStart: *coldStart, autoscaler: *autoscaler, migration: *migration,
 		}, *hw, *gpus, *mdl, slo, specFlagSet, *wl, *seed, *n, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "muxcluster:", err)
 			os.Exit(1)
@@ -406,8 +452,8 @@ func main() {
 			Router:     name,
 		}
 		if err := applyScenario(&dep, specFlagSet, scenarioOpts{
-			name: *scenario, failAt: *failAt, minReps: *minReps, maxReps: *maxReps,
-			coldStart: *coldStart, autoscaler: *autoscaler,
+			name: *scenario, failAt: *failAt, drainAt: *drainAt, minReps: *minReps, maxReps: *maxReps,
+			coldStart: *coldStart, autoscaler: *autoscaler, migration: *migration,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "muxcluster:", err)
 			os.Exit(2)
@@ -462,6 +508,10 @@ func main() {
 	for _, rep := range row.Replicas {
 		fmt.Printf("  %-16s %-8s %-9s %-8s %5d reqs  cache %5.1f%%\n",
 			rep.Name, rep.Role, rep.Hardware, rep.State, rep.Requests, rep.CacheHit*100)
+	}
+	if row.MigrationStreams > 0 || row.RePrefillKVTokens > 0 {
+		fmt.Printf("\nkv migration: %d streams, %d tokens delivered, %.1f ms stall, %d tokens re-prefilled\n",
+			row.MigrationStreams, row.MigratedKVTokens, row.MigrationStallSecs*1e3, row.RePrefillKVTokens)
 	}
 	if len(row.Events) > 0 {
 		fmt.Println("\nfleet events:")

@@ -163,6 +163,17 @@ func WithTargetTTFT(d Time) Option {
 	return func(e *Experiment) { e.fleet.TargetTTFT = d }
 }
 
+// WithMigration enables KV migration on graceful takedowns: drains,
+// retires and autoscaler scale-downs stream each in-flight session's KV
+// to the replica its traffic re-routes to — priced by the modeled
+// interconnect (NVLink inside a hardware shape, PCIe across shapes) —
+// instead of letting the session repay a full re-prefill there.
+// Failures still lose their KV, including streams the crash catches
+// mid-flight. Requires a fleet (WithFleet).
+func WithMigration() Option {
+	return func(e *Experiment) { e.fleet.Migration = true }
+}
+
 // WithCadence sets the autoscaler observation interval (default 5 s).
 func WithCadence(d Time) Option {
 	return func(e *Experiment) { e.fleet.Cadence = d }
@@ -229,7 +240,8 @@ func (e *Experiment) fleetActive() bool {
 	fo := &e.fleet
 	return len(fo.Events) > 0 || fo.Autoscaler != "" || fo.Spawn != nil ||
 		fo.MinReplicas != 0 || fo.MaxReplicas != 0 || fo.TargetTTFT != 0 ||
-		fo.Cadence != 0 || fo.ColdStart != 0
+		fo.Cadence != 0 || fo.ColdStart != 0 || fo.Migration ||
+		fo.MigrationHandoff != 0
 }
 
 // resolve validates the experiment and lowers it onto the internal

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"muxwise/internal/kvcache"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
 )
@@ -57,6 +58,11 @@ func (p *adaptiveTTFT) ObserveTTFT(replica int, ttft sim.Time) {
 func (p *adaptiveTTFT) ReplicaDown(id int) {
 	p.aff.replicaDown(id)
 	delete(p.ewma, id)
+}
+
+// SessionMigrated implements MigrationObserver: the pin follows the KV.
+func (p *adaptiveTTFT) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
+	p.aff.migrated(session, from, to, pages)
 }
 
 // score predicts the TTFT a request routed to rep would see: the learned

@@ -148,6 +148,10 @@ type Config struct {
 	// autoscaler. Nil runs the initial fleet unchanged, exactly as
 	// before.
 	Fleet *FleetConfig
+	// Migration enables KV streaming on graceful takedowns (drain,
+	// retire, autoscaler scale-down) at the modeled interconnect cost.
+	// The zero value keeps the re-prefill-only behavior.
+	Migration MigrationConfig
 }
 
 // Replica is one engine instance plus the load bookkeeping routers
@@ -170,6 +174,17 @@ type Replica struct {
 	assigned  int
 	reqs      map[int]*workload.Request // in-flight, by request ID
 
+	// migTokens is in-transit migrated KV counted in outTokens until it
+	// lands; kvIn/kvOut total the KV tokens this replica received/sent
+	// over its life.
+	migTokens   int64
+	kvIn, kvOut int64
+
+	// sessions maps each session whose latest completed turn ran here to
+	// the context KV this replica's pool holds for it — what a graceful
+	// takedown streams out. Maintained only when migration is enabled.
+	sessions map[int]sessionKV
+
 	// frozen* snapshot the replica's result and cache stats at the
 	// instant it went down, excluding any ghost simulation work after.
 	frozenResult *serve.Result
@@ -180,8 +195,13 @@ type Replica struct {
 func (r *Replica) InFlight() int { return r.inFlight }
 
 // OutstandingTokens returns the input+output tokens of in-flight
-// requests — the least-outstanding-tokens load signal.
+// requests plus any in-transit migrated KV — the
+// least-outstanding-tokens load signal.
 func (r *Replica) OutstandingTokens() int64 { return r.outTokens }
+
+// MigratingTokens returns the in-transit migrated KV currently counted
+// against this replica's token load.
+func (r *Replica) MigratingTokens() int64 { return r.migTokens }
 
 // Assigned returns how many requests the router sent here in total.
 func (r *Replica) Assigned() int { return r.assigned }
@@ -239,10 +259,12 @@ type LogEntry struct {
 // epochMark opens a fleet epoch: the instant, what changed, and
 // snapshots of the fleet state needed for per-epoch deltas.
 type epochMark struct {
-	at    sim.Time
-	label string
-	ready int
-	cache kvcache.Stats
+	at       sim.Time
+	label    string
+	ready    int
+	cache    kvcache.Stats
+	migrated int64    // cumulative migrated KV tokens at the mark
+	migStall sim.Time // cumulative migration stall at the mark
 }
 
 // Cluster is a replica fleet sharing one simulator. Replicas holds every
@@ -267,6 +289,17 @@ type Cluster struct {
 
 	// failures counts FailReplica events applied.
 	failures int
+
+	// KV migration state: configuration, the derived per-token wire
+	// size, every stream started, running totals, how many re-dispatched
+	// requests are held on the wire right now, and which replica holds
+	// each live session's KV (maintained only when migration is enabled).
+	migCfg          MigrationConfig
+	kvBytesPerToken float64
+	migs            []*migration
+	migStats        MigrationStats
+	migHeld         int
+	kvHolder        map[int]int
 }
 
 // validate checks the config without constructing any engine.
@@ -306,7 +339,15 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Sim: s, Router: cfg.Policy(), base: cfg.Base, nameSeq: map[string]int{}}
+	c := &Cluster{Sim: s, Router: cfg.Policy(), base: cfg.Base, nameSeq: map[string]int{}, kvHolder: map[int]int{}}
+	c.migCfg = cfg.Migration
+	if c.migCfg.Handoff <= 0 {
+		c.migCfg.Handoff = kvcache.DefaultHandoff
+	}
+	c.kvBytesPerToken = cfg.Migration.BytesPerToken
+	if c.kvBytesPerToken <= 0 {
+		c.kvBytesPerToken = cfg.Base.Arch.KVBytesPerToken()
+	}
 	for _, spec := range cfg.Replicas {
 		count := spec.Count
 		if count <= 0 {
@@ -334,16 +375,21 @@ func (c *Cluster) addReplica(spec ReplicaSpec) *Replica {
 	seq := c.nameSeq[spec.Engine]
 	c.nameSeq[spec.Engine] = seq + 1
 	rep := &Replica{
-		ID:    len(c.Replicas),
-		Name:  fmt.Sprintf("%s-%d", spec.Engine, seq),
-		Role:  spec.Role,
-		Spec:  spec,
-		State: StateStarting,
-		reqs:  map[int]*workload.Request{},
+		ID:       len(c.Replicas),
+		Name:     fmt.Sprintf("%s-%d", spec.Engine, seq),
+		Role:     spec.Role,
+		Spec:     spec,
+		State:    StateStarting,
+		reqs:     map[int]*workload.Request{},
+		sessions: map[int]sessionKV{},
 	}
 	rep.Inst = serve.NewInstance(c.Sim, spec.Factory, base, rep.Name)
 	rep.Inst.OnFinish(func(id int, at sim.Time) {
+		req := rep.reqs[id]
 		rep.finish(id)
+		if req != nil {
+			c.trackKV(rep, req)
+		}
 		if rep.State == StateDraining && rep.inFlight == 0 {
 			c.retireDrained(rep)
 		}
@@ -398,10 +444,12 @@ func (c *Cluster) logf(format string, args ...any) {
 // mark opens a new fleet epoch at the current instant.
 func (c *Cluster) mark(label string) {
 	c.marks = append(c.marks, epochMark{
-		at:    c.Sim.Now(),
-		label: label,
-		ready: c.countState(StateReady),
-		cache: c.aggCache(),
+		at:       c.Sim.Now(),
+		label:    label,
+		ready:    c.countState(StateReady),
+		cache:    c.aggCache(),
+		migrated: c.migStats.MigratedTokens,
+		migStall: c.migStats.Stall,
 	})
 }
 
@@ -490,6 +538,9 @@ func (c *Cluster) Drain(rep *Replica) {
 	rep.State = StateDraining
 	c.logf("drain %s (%d in flight)", rep.Name, rep.inFlight)
 	c.mark("drain " + rep.Name)
+	// The draining replica left the routable set, so its sessions
+	// re-route from this instant on; stream their KV after it.
+	c.drainMigrations(rep)
 	if rep.inFlight == 0 {
 		c.retireDrained(rep)
 	}
@@ -561,17 +612,39 @@ func (c *Cluster) takeDown(rep *Replica, state State, label string) {
 	if obs, ok := c.Router.(FleetObserver); ok {
 		obs.ReplicaDown(rep.ID)
 	}
+	// Streams through the dead replica die with it: a vanished
+	// destination cannot accept, and a crashed source loses even the
+	// KV it was mid-stream on — those sessions repay the re-prefill.
+	c.cancelMigrations(rep, state == StateFailed)
 	c.logf("%s %s (%d in-flight re-dispatched)", label, rep.Name, len(redispatch))
 	c.mark(label + " " + rep.Name)
+	graceful := c.migCfg.Enabled && state != StateFailed
 	for _, req := range redispatch {
+		// A graceful retire streams each re-dispatched request's input
+		// KV to the target and holds the request until it lands; a
+		// crash (or a fleet with nowhere to stream) re-dispatches
+		// immediately and the request re-prefills where it re-sticks.
+		if graceful {
+			c.releaseKV(rep, req.Session)
+			if c.migrateKV(rep, req.Session, int64(req.InputTokens), req.Pages, req) {
+				continue
+			}
+		}
 		c.Submit(req)
 	}
+	if graceful {
+		// Idle sessions whose KV lives here stream out too — their next
+		// turn re-routes and would otherwise pay the full re-prefill.
+		c.sweepSessionKV(rep)
+	}
+	c.forgetKV(rep)
 }
 
 // Unfinished sums arrived-but-incomplete requests across the fleet,
-// including requests queued for want of a routable replica.
+// including requests queued for want of a routable replica and
+// requests held mid-migration while their KV is on the wire.
 func (c *Cluster) Unfinished() int {
-	n := len(c.pending)
+	n := len(c.pending) + c.migHeld
 	for _, rep := range c.Replicas {
 		n += rep.Inst.Rec.Unfinished()
 	}
@@ -620,6 +693,10 @@ type ReplicaResult struct {
 	Requests int      // requests routed to this replica
 	CacheHit float64
 	Result   serve.Result
+
+	// KVMigratedIn/Out total the KV tokens this replica received and
+	// sent through migration streams.
+	KVMigratedIn, KVMigratedOut int64
 }
 
 // Epoch is the rollup of one fleet epoch: the interval between two
@@ -640,6 +717,10 @@ type Epoch struct {
 	// inside the epoch (not cumulative) — the KV re-prefill penalty of a
 	// failure is visible as a dip here.
 	CacheHit float64
+	// MigratedTokens is KV delivered by migration streams inside the
+	// epoch; MigrationStall the stream latency committed inside it.
+	MigratedTokens int64
+	MigrationStall sim.Time
 }
 
 // Result aggregates a cluster run: the fleet-wide summary over merged
@@ -660,6 +741,9 @@ type Result struct {
 	Failures int
 	// Unrouted counts requests that never found a routable replica.
 	Unrouted int
+	// Migration aggregates the run's KV-migration accounting (zero when
+	// migration is disabled or the fleet never drained).
+	Migration MigrationStats
 }
 
 // MeanUtil averages blended GPU utilization across all replica devices.
@@ -720,14 +804,20 @@ func (c *Cluster) epochs(rec *metrics.Recorder, end sim.Time, tbtSLO sim.Time) [
 			HitTokens:  next.HitTokens - prev.HitTokens,
 			MissTokens: next.MissTokens - prev.MissTokens,
 		}
+		nextMig, nextStall := c.migStats.MigratedTokens, c.migStats.Stall
+		if i+1 < len(marks) {
+			nextMig, nextStall = marks[i+1].migrated, marks[i+1].migStall
+		}
 		out[i] = Epoch{
-			From:       wins[i].From,
-			To:         wins[i].To,
-			Label:      marks[i].label,
-			Ready:      marks[i].ready,
-			Window:     wins[i],
-			Attainment: wins[i].Attainment(),
-			CacheHit:   delta.HitRate(),
+			From:           wins[i].From,
+			To:             wins[i].To,
+			Label:          marks[i].label,
+			Ready:          marks[i].ready,
+			Window:         wins[i],
+			Attainment:     wins[i].Attainment(),
+			CacheHit:       delta.HitRate(),
+			MigratedTokens: nextMig - marks[i].migrated,
+			MigrationStall: nextStall - marks[i].migStall,
 		}
 	}
 	return out
@@ -776,17 +866,19 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 			gpus = rep.Spec.GPUs
 		}
 		res.Replicas = append(res.Replicas, ReplicaResult{
-			Name:     rep.Name,
-			Engine:   rep.Spec.Engine,
-			Hardware: hw,
-			GPUs:     gpus,
-			Role:     rep.Role,
-			State:    rep.State,
-			ReadyAt:  rep.ReadyAt,
-			DownAt:   rep.DownAt,
-			Requests: rep.Assigned(),
-			CacheHit: rr.CacheHit,
-			Result:   rr,
+			Name:          rep.Name,
+			Engine:        rep.Spec.Engine,
+			Hardware:      hw,
+			GPUs:          gpus,
+			Role:          rep.Role,
+			State:         rep.State,
+			ReadyAt:       rep.ReadyAt,
+			DownAt:        rep.DownAt,
+			Requests:      rep.Assigned(),
+			CacheHit:      rr.CacheHit,
+			Result:        rr,
+			KVMigratedIn:  rep.kvIn,
+			KVMigratedOut: rep.kvOut,
 		})
 		recs = append(recs, rep.Inst.Rec)
 	}
@@ -795,6 +887,10 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 	serve.ApplyBacklog(&res.Summary, backlog)
 	res.CacheHit = c.aggCache().HitRate()
 	res.Epochs = c.epochs(res.Rec, s.Now(), cfg.Base.SLO.TBT)
+	res.Migration = c.migStats
+	res.Migration.UndeliveredTokens = c.undeliveredTokens()
+	res.Summary.MigratedKVTokens = res.Migration.MigratedTokens
+	res.Summary.MigrationStallSeconds = res.Migration.Stall.Seconds()
 	return res, nil
 }
 

@@ -254,6 +254,23 @@ func (a *affinity) replicaDown(id int) {
 	delete(a.index, id)
 }
 
+// migrated re-homes a session whose KV streamed to a new holder: the
+// pin follows the KV (unless a turn already re-routed the session
+// elsewhere mid-stream — then the newer pin wins), and the destination's
+// prefix index advertises the migrated pages either way, because they
+// really are cached there now.
+func (a *affinity) migrated(session, from, to int, pages []kvcache.PageID) {
+	if cur, ok := a.sessions[session]; !ok || cur == from {
+		a.sessions[session] = to
+	}
+	ix := a.index[to]
+	if ix == nil {
+		ix = newPrefixIndex()
+		a.index[to] = ix
+	}
+	ix.add(pages)
+}
+
 // divert re-routes a request off its overloaded sticky replica: score
 // the rest of the fleet so the hot replica cannot win on its own cached
 // pages. A single-replica fleet has nowhere else to go.
@@ -314,6 +331,11 @@ func (p *prefixAffinity) Name() string { return PrefixAffinityPolicy }
 // ReplicaDown implements FleetObserver.
 func (p *prefixAffinity) ReplicaDown(id int) { p.aff.replicaDown(id) }
 
+// SessionMigrated implements MigrationObserver.
+func (p *prefixAffinity) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
+	p.aff.migrated(session, from, to, pages)
+}
+
 func (p *prefixAffinity) Pick(r *workload.Request, view FleetView) *Replica {
 	fleet := view.Candidates
 	rep := p.aff.sticky(r, fleet)
@@ -358,6 +380,11 @@ func (p *pdSplit) Name() string { return PDSplitPolicy }
 
 // ReplicaDown implements FleetObserver.
 func (p *pdSplit) ReplicaDown(id int) { p.aff.replicaDown(id) }
+
+// SessionMigrated implements MigrationObserver.
+func (p *pdSplit) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
+	p.aff.migrated(session, from, to, pages)
+}
 
 // byRole filters the fleet; an empty result falls back to the fleet.
 func byRole(fleet []*Replica, want func(Role) bool) []*Replica {

@@ -49,6 +49,16 @@ const (
 	// Autoscale attaches the backlog autoscaler with a cold-start delay,
 	// letting the fleet grow by MaxSpawn replicas under burst pressure.
 	Autoscale = "autoscale"
+	// Drain rolls replica 0 out gracefully mid-run (a replacement
+	// spawns first, so capacity holds): its sessions re-route and repay
+	// a full KV re-prefill on their next turn — the re-prefill
+	// baseline.
+	Drain = "drain"
+	// DrainMigrate is the same rolling drain with KV migration enabled:
+	// the leaving replica streams its sessions' KV to the re-routed
+	// target at the modeled interconnect cost. Contrast with Drain to
+	// read the transfer-vs-recompute tradeoff off the frontier.
+	DrainMigrate = "drain-migrate"
 )
 
 // Matrix describes one frontier sweep. The zero value is not runnable;
@@ -73,6 +83,10 @@ type Matrix struct {
 	// FailFrac places the Failure condition's crash as a fraction of the
 	// arrival span (default 0.4).
 	FailFrac float64
+	// DrainFrac places the Drain/DrainMigrate conditions' rolling drain
+	// as a fraction of the arrival span (default 0.4); the replacement
+	// spawns ColdStart earlier so it is ready at the drain instant.
+	DrainFrac float64
 	// ColdStart is the Autoscale condition's spawn-to-ready delay
 	// (default 15 s).
 	ColdStart muxwise.Time
@@ -113,11 +127,12 @@ func Default(quick bool) Matrix {
 		},
 		Baseline:   "aggregated",
 		Routers:    []string{"least-tokens", "pd-split", "adaptive-ttft"},
-		Conditions: []string{Steady, Failure, Autoscale},
+		Conditions: []string{Steady, Failure, Autoscale, Drain, DrainMigrate},
 		Scales:     scales,
 		Sessions:   o.Size(150, 60),
 		Seed:       11,
 		FailFrac:   0.4,
+		DrainFrac:  0.4,
 		ColdStart:  15 * muxwise.Second,
 		MaxSpawn:   2,
 	}
@@ -136,6 +151,9 @@ func (m Matrix) withDefaults() Matrix {
 	}
 	if m.FailFrac <= 0 {
 		m.FailFrac = 0.4
+	}
+	if m.DrainFrac <= 0 {
+		m.DrainFrac = 0.4
 	}
 	if m.ColdStart <= 0 {
 		m.ColdStart = 15 * muxwise.Second
@@ -170,10 +188,10 @@ func (m Matrix) validate() error {
 	}
 	for _, cond := range m.Conditions {
 		switch cond {
-		case Steady, Failure, Autoscale:
+		case Steady, Failure, Autoscale, Drain, DrainMigrate:
 		default:
-			return fmt.Errorf("frontier: unknown condition %q (want %s, %s, %s)",
-				cond, Steady, Failure, Autoscale)
+			return fmt.Errorf("frontier: unknown condition %q (want %s, %s, %s, %s, %s)",
+				cond, Steady, Failure, Autoscale, Drain, DrainMigrate)
 		}
 	}
 	// validate runs after withDefaults, so the grid is already sorted
@@ -309,6 +327,29 @@ func (m Matrix) runCell(comp Composition, cond, router string, scale float64) (C
 			muxwise.WithColdStart(m.ColdStart),
 			muxwise.WithScaleBounds(1, initialCount(comp)+m.MaxSpawn),
 		)
+	case Drain, DrainMigrate:
+		// A rolling drain of replica 0: the replacement (same shape)
+		// spawns ColdStart plus a short lead ahead, so it is routable
+		// when its predecessor leaves and capacity never dips — the two
+		// conditions then differ only in how the drained replica's
+		// session KV moves.
+		drainAt := muxwise.Time(float64(span) * m.DrainFrac)
+		spawnAt := drainAt - m.ColdStart - 2*muxwise.Second
+		if spawnAt < 0 {
+			spawnAt = 0
+		}
+		spec := comp.Replicas[0]
+		spec.Count = 1
+		opts = append(opts,
+			muxwise.WithColdStart(m.ColdStart),
+			muxwise.WithEvents(
+				muxwise.FleetEvent{At: spawnAt, Kind: "spawn", Spec: &spec},
+				muxwise.FleetEvent{At: drainAt, Kind: "drain", Replica: 0},
+			),
+		)
+		if cond == DrainMigrate {
+			opts = append(opts, muxwise.WithMigration())
+		}
 	}
 	rep, err := muxwise.NewExperiment(opts...).Run(trace)
 	if err != nil {

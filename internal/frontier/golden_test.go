@@ -146,6 +146,54 @@ func TestPaperShape(t *testing.T) {
 	}
 }
 
+// TestMigrationFrontier pins the drain-vs-drain-migrate contrast the
+// migration condition exists to expose: across the whole grid, and on
+// the aggregated composition in particular (where a whole session's KV
+// lives on one replica, so a drain strands the most), streaming KV at
+// the modeled interconnect cost delivers strictly more within-SLO
+// requests than repaying re-prefills. Individual cells may go either
+// way — at saturation, routing perturbation is the same order as the
+// re-prefill cost — which is exactly why the assertion is on the sums.
+func TestMigrationFrontier(t *testing.T) {
+	rep := quickReport(t)
+	sum := func(cond, comp string) int {
+		total := 0
+		for _, c := range rep.Cells {
+			if c.Condition == cond && (comp == "" || c.Composition == comp) {
+				total += c.WithinSLO
+			}
+		}
+		return total
+	}
+	for _, comp := range []string{"", "aggregated"} {
+		label := comp
+		if label == "" {
+			label = "all compositions"
+		}
+		base, mig := sum(Drain, comp), sum(DrainMigrate, comp)
+		t.Logf("%s: within-SLO drain %d vs drain-migrate %d", label, base, mig)
+		if mig <= base {
+			t.Errorf("%s: migration within-SLO total %d not strictly above the re-prefill drain total %d",
+				label, mig, base)
+		}
+	}
+	// The two drain conditions replay identical traces and fleets, so
+	// the offered counts must agree cell for cell.
+	for _, c := range rep.Cells {
+		if c.Condition != Drain {
+			continue
+		}
+		m, ok := rep.cell(DrainMigrate, c.Router, c.Composition, c.Scale)
+		if !ok {
+			t.Fatalf("no drain-migrate twin for %s", c.key())
+		}
+		if m.Offered != c.Offered || m.GPUs != c.GPUs {
+			t.Errorf("%s: drain and drain-migrate disagree on offered/gpus (%d/%d vs %d/%d)",
+				c.key(), c.Offered, c.GPUs, m.Offered, m.GPUs)
+		}
+	}
+}
+
 // TestMatrixValidate exercises the sweep-time configuration errors.
 func TestMatrixValidate(t *testing.T) {
 	base := Default(true)

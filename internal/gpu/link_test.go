@@ -1,0 +1,48 @@
+package gpu
+
+import "testing"
+
+func TestLinkBetweenSameShape(t *testing.T) {
+	l := LinkBetween(A100(), A100())
+	if l.Class != LinkNVLink {
+		t.Fatalf("A100↔A100 link class %v, want nvlink", l.Class)
+	}
+	if l.Bandwidth != A100().NVLinkBandwidth {
+		t.Fatalf("A100↔A100 bandwidth %g, want %g", l.Bandwidth, A100().NVLinkBandwidth)
+	}
+}
+
+func TestLinkBetweenCrossShape(t *testing.T) {
+	l := LinkBetween(A100(), H100())
+	if l.Class != LinkPCIe {
+		t.Fatalf("A100↔H100 link class %v, want pcie", l.Class)
+	}
+	// The slower endpoint paces the stream: A100 is PCIe gen4.
+	if l.Bandwidth != A100().PCIeBandwidth {
+		t.Fatalf("A100↔H100 bandwidth %g, want the A100 PCIe rate %g", l.Bandwidth, A100().PCIeBandwidth)
+	}
+}
+
+func TestLinkBetweenDefaultsPCIe(t *testing.T) {
+	// Specs that predate the PCIe field still classify and stream.
+	bare := Spec{Name: "custom"}
+	l := LinkBetween(bare, A100())
+	if l.Class != LinkPCIe {
+		t.Fatalf("custom↔A100 link class %v, want pcie", l.Class)
+	}
+	if l.Bandwidth != defaultPCIeBandwidth {
+		t.Fatalf("defaulted PCIe bandwidth %g, want %g", l.Bandwidth, defaultPCIeBandwidth)
+	}
+	// Same name but no NVLink rate also degrades to PCIe rather than an
+	// infinitely fast zero-bandwidth NVLink.
+	l = LinkBetween(bare, bare)
+	if l.Class != LinkPCIe {
+		t.Fatalf("custom↔custom without NVLink: class %v, want pcie", l.Class)
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	if LinkNVLink.String() != "nvlink" || LinkPCIe.String() != "pcie" {
+		t.Fatalf("link class names: %q, %q", LinkNVLink.String(), LinkPCIe.String())
+	}
+}

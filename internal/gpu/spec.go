@@ -34,6 +34,11 @@ type Spec struct {
 	// used for tensor-parallel collectives and KV migration.
 	NVLinkBandwidth float64
 
+	// PCIeBandwidth is the per-GPU host-path bandwidth in bytes/s, the
+	// fallback link class for KV streams that cross hardware shapes
+	// (no shared NVLink domain). Zero selects a PCIe 3.0 x16 floor.
+	PCIeBandwidth float64
+
 	// BWSaturationFrac is the fraction of SMs a kernel needs before it
 	// can absorb the full HBM bandwidth. A kernel on fewer SMs is capped
 	// at smFraction/BWSaturationFrac of peak bandwidth. Real GPUs need
@@ -81,6 +86,7 @@ func A100() Spec {
 		HBMBandwidth:         2.039e12,
 		HBMCapacity:          80 << 30,
 		NVLinkBandwidth:      600e9,
+		PCIeBandwidth:        32e9,
 		BWSaturationFrac:     0.45,
 		MFUPrefill:           0.50,
 		MFUDecode:            0.30,
@@ -102,6 +108,7 @@ func H100() Spec {
 		HBMBandwidth:         3.35e12,
 		HBMCapacity:          80 << 30,
 		NVLinkBandwidth:      900e9,
+		PCIeBandwidth:        64e9,
 		BWSaturationFrac:     0.45,
 		MFUPrefill:           0.48,
 		MFUDecode:            0.28,

@@ -139,6 +139,24 @@ func (p *Pool) listIfEvictable(n *node) {
 	}
 }
 
+// Peek returns how many leading pages of the sequence are cached,
+// without refreshing recency or recording statistics — a read-only
+// probe for callers (KV migration) that ask "what does this pool still
+// hold?" rather than performing an admission lookup.
+func (p *Pool) Peek(pages []PageID) int {
+	n := p.root
+	matched := 0
+	for _, pg := range pages {
+		child, ok := n.children[pg]
+		if !ok {
+			break
+		}
+		n = child
+		matched++
+	}
+	return matched
+}
+
 // Match walks the tree and returns how many leading pages of the sequence
 // are cached, refreshing their recency.
 func (p *Pool) Match(pages []PageID) int {

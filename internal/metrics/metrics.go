@@ -256,6 +256,15 @@ type Summary struct {
 	// the last arrival (set by the runner's stability probe).
 	Backlog int
 
+	// MigratedKVTokens counts KV tokens delivered by cluster KV
+	// migration (graceful drains streaming session KV to the re-routed
+	// replica); MigrationStallSeconds sums the stream latencies those
+	// sessions waited out. Both are zero for single-instance runs and
+	// migration-disabled fleets — the cluster runner sets them, the way
+	// the stability probe sets Backlog.
+	MigratedKVTokens      int64
+	MigrationStallSeconds float64
+
 	// Unstable marks runs where the system could not keep up — a large
 	// backlog after arrivals stop, or unfinished work at the horizon —
 	// mirroring the paper's "unstable" baseline states in Fig. 14/15.

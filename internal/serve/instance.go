@@ -110,6 +110,46 @@ func (i *Instance) Halted() bool { return i.halted }
 // record was removed.
 func (i *Instance) Abort(id int) bool { return i.Rec.Abort(id) }
 
+// PreloadKV publishes externally streamed KV pages into the pool the
+// engine's admission matches against — the first reported cache pool,
+// which is the prefix-lookup side for every engine here (the sole pool
+// of aggregated engines, the prefill pool of disaggregated ones). The
+// cluster's KV-migration path calls this at stream-arrival time so the
+// migrated session's next turn admits as a cache hit instead of paying
+// a re-prefill. Returns pages actually inserted (capacity may evict or
+// truncate); a halted instance or a pool-less engine accepts nothing.
+func (i *Instance) PreloadKV(pages []kvcache.PageID) int {
+	if i.halted || len(pages) == 0 {
+		return 0
+	}
+	pr, ok := i.Eng.(PoolReporter)
+	if !ok {
+		return 0
+	}
+	pools := pr.CachePools()
+	if len(pools) == 0 {
+		return 0
+	}
+	return pools[0].Insert(pages)
+}
+
+// PeekKV reports how many leading pages of the sequence the engine's
+// matching pool still holds, and the pool's page granularity in tokens,
+// without touching recency or statistics. KV migration uses it to clamp
+// what a drain can stream to what the pool physically retains — evicted
+// KV cannot be migrated.
+func (i *Instance) PeekKV(pages []kvcache.PageID) (matched, pageTokens int) {
+	pr, ok := i.Eng.(PoolReporter)
+	if !ok {
+		return 0, 0
+	}
+	pools := pr.CachePools()
+	if len(pools) == 0 {
+		return 0, 0
+	}
+	return pools[0].Peek(pages), pools[0].PageTokens()
+}
+
 // CacheStats aggregates cache statistics across the engine's pools; it
 // returns zeros when the engine exposes none.
 func (i *Instance) CacheStats() kvcache.Stats {

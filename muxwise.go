@@ -324,6 +324,17 @@ type FleetOptions struct {
 	Spawn *ReplicaSpec
 	// MinReplicas and MaxReplicas bound the autoscaler (defaults 1, 64).
 	MinReplicas, MaxReplicas int
+	// Migration enables KV streaming on graceful takedowns (drain,
+	// retire, autoscaler scale-down): instead of repaying a full
+	// re-prefill, a leaving replica's in-flight sessions stream their KV
+	// to the replica their traffic re-routes to, at the modeled
+	// interconnect cost (NVLink within a hardware shape, PCIe across
+	// shapes). Failures still lose their KV — including streams caught
+	// mid-flight by the crash.
+	Migration bool
+	// MigrationHandoff overrides the fixed per-session stream setup
+	// latency (default 8 ms).
+	MigrationHandoff Time
 }
 
 // fleetConfig resolves the public fleet options.
@@ -440,6 +451,12 @@ func (d ClusterDeployment) config() (cluster.Config, error) {
 	cfg.Fleet, err = d.Fleet.fleetConfig()
 	if err != nil {
 		return cluster.Config{}, err
+	}
+	if d.Fleet != nil {
+		cfg.Migration = cluster.MigrationConfig{
+			Enabled: d.Fleet.Migration,
+			Handoff: d.Fleet.MigrationHandoff,
+		}
 	}
 	return cfg, nil
 }

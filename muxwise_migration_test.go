@@ -1,0 +1,72 @@
+package muxwise
+
+import "testing"
+
+// TestWithMigrationEndToEnd drives KV migration through the public
+// Experiment surface: a rolling drain with WithMigration must deliver
+// KV (ClusterResult.Migration, Summary counters), and the identical
+// experiment without it must stay on the re-prefill-only path.
+func TestWithMigrationEndToEnd(t *testing.T) {
+	trace := func() *Trace { return MixedBursty(8, 30, 0.2) }
+	base := NewExperiment(
+		WithDeployment(Deployment{
+			Hardware: "A100", GPUs: 1, Model: "Llama-8B",
+			SLO: SLO{TTFT: Second, TBT: 50 * Millisecond},
+		}),
+		WithFleet(ReplicaSpec{Engine: "MuxWise", Count: 3}),
+		WithRouter("prefix-affinity"),
+		WithColdStart(5*Second),
+		WithEvents(
+			FleetEvent{At: 35 * Second, Kind: "spawn"},
+			FleetEvent{At: 40 * Second, Kind: "drain", Replica: 0},
+		),
+	)
+
+	plain, err := base.Run(trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fleet.Migration != (MigrationStats{}) {
+		t.Fatalf("migration disabled but stats non-zero: %+v", plain.Fleet.Migration)
+	}
+	if plain.Summary.MigratedKVTokens != 0 {
+		t.Fatalf("migration disabled but summary reports %d migrated tokens", plain.Summary.MigratedKVTokens)
+	}
+
+	rep, err := base.With(WithMigration()).Run(trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Fleet.Migration
+	if m.Streams == 0 || m.MigratedTokens == 0 {
+		t.Fatalf("WithMigration drained fleet streamed nothing: %+v", m)
+	}
+	if rep.Summary.MigratedKVTokens != m.MigratedTokens {
+		t.Fatalf("summary migrated tokens %d != stats %d", rep.Summary.MigratedKVTokens, m.MigratedTokens)
+	}
+	if rep.Summary.MigrationStallSeconds <= 0 {
+		t.Fatal("summary migration stall not populated")
+	}
+	if got := m.MigratedTokens + m.CanceledTokens + m.RePrefillTokens + m.UndeliveredTokens; got != m.DrainKVTokens {
+		t.Fatalf("public-API run breaks KV conservation: %d accounted, %d observed", got, m.DrainKVTokens)
+	}
+	var in int64
+	for _, r := range rep.Fleet.Replicas {
+		in += r.KVMigratedIn
+	}
+	if in != m.MigratedTokens {
+		t.Fatalf("per-replica migrated-in sum %d != delivered total %d", in, m.MigratedTokens)
+	}
+}
+
+// TestWithMigrationRequiresFleet: migration is a fleet lifecycle option.
+func TestWithMigrationRequiresFleet(t *testing.T) {
+	_, err := NewExperiment(
+		WithDeployment(Deployment{Hardware: "A100", GPUs: 1, Model: "Llama-8B"}),
+		WithEngine("MuxWise"),
+		WithMigration(),
+	).Run(MixedBursty(1, 4, 0.1))
+	if err == nil {
+		t.Fatal("WithMigration on a single-engine experiment did not error")
+	}
+}

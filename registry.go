@@ -29,6 +29,14 @@ type (
 	// TTFTObserver is implemented by routers that learn from latency:
 	// every first token is reported against the replica that served it.
 	TTFTObserver = cluster.TTFTObserver
+	// MigrationObserver is implemented by routers that track
+	// session→replica affinity: SessionMigrated fires when a session's
+	// KV finished streaming to a new holder, so the pin can follow the
+	// KV instead of the next turn paying a cold re-prefill.
+	MigrationObserver = cluster.MigrationObserver
+	// MigrationStats aggregates a fleet run's KV-migration accounting
+	// (ClusterResult.Migration).
+	MigrationStats = cluster.MigrationStats
 	// Autoscaler decides fleet scale from a FleetSnapshot on a cadence.
 	Autoscaler = cluster.Autoscaler
 	// TTFTTargeted is implemented by autoscalers that accept the
