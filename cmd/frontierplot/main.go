@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"muxwise"
 	"muxwise/internal/frontier"
 )
 
@@ -178,12 +179,12 @@ func writeMarkdown(w io.Writer, rep *frontier.Report) {
 		for _, scale := range rep.Grid.Scales {
 			fmt.Fprintf(w, " leader @%g |", scale)
 		}
-		fmt.Fprintln(w, " crossover |")
+		fmt.Fprintln(w, " crossover | miss causes |")
 		fmt.Fprint(w, "|---|")
 		for range rep.Grid.Scales {
 			fmt.Fprint(w, "---|")
 		}
-		fmt.Fprintln(w, "---|")
+		fmt.Fprintln(w, "---|---|")
 		for _, router := range rep.Grid.Routers {
 			f, ok := findFrontier(rep, cond, router)
 			if !ok {
@@ -200,14 +201,27 @@ func writeMarkdown(w io.Writer, rep *frontier.Report) {
 				fmt.Fprintf(w, " %s |", cell)
 			}
 			if f.Crossover > 0 {
-				fmt.Fprintf(w, " %g |\n", f.Crossover)
+				fmt.Fprintf(w, " %g |", f.Crossover)
 			} else {
-				fmt.Fprintln(w, " none |")
+				fmt.Fprint(w, " none |")
 			}
+			fmt.Fprintf(w, " %s |\n", missCauses(rep, cond, router).String())
 		}
 		fmt.Fprintln(w)
 	}
 	writeMigrationDelta(w, rep)
+}
+
+// missCauses aggregates the SLO-miss diagnostics of every cell of one
+// (condition, router) panel — the digest's per-row attribution readout.
+func missCauses(rep *frontier.Report, cond, router string) muxwise.MissBreakdown {
+	var b muxwise.MissBreakdown
+	for _, c := range rep.Cells {
+		if c.Condition == cond && c.Router == router {
+			b = b.Add(c.MissCauses)
+		}
+	}
+	return b
 }
 
 // writeMigrationDelta summarises drain vs drain-migrate when the report

@@ -6,14 +6,18 @@ import (
 	"strings"
 	"testing"
 
+	"muxwise"
 	"muxwise/internal/frontier"
 )
 
 // synthetic builds a two-condition report with the drain pair present.
 func synthetic() *frontier.Report {
 	mkCell := func(cond, router, comp string, scale, perGPU float64, within int) frontier.Cell {
+		// Every cell offers 100 requests; the shortfall is attributed to
+		// TBT violations so the digest's miss-cause column is non-trivial.
 		return frontier.Cell{Condition: cond, Router: router, Composition: comp,
-			Scale: scale, GoodputPerGPU: perGPU, WithinSLO: within}
+			Scale: scale, GoodputPerGPU: perGPU, Offered: 100, WithinSLO: within,
+			MissCauses: muxwise.MissBreakdown{Misses: 100 - within, TBTViolation: 100 - within}}
 	}
 	return &frontier.Report{
 		Schema: frontier.Schema,
@@ -76,6 +80,9 @@ func TestMarkdownSummary(t *testing.T) {
 		"#### drain",
 		"#### drain-migrate",
 		"| least-tokens |",
+		"| miss causes |",
+		// Drain misses 60+70+80+50 = 260, all attributed to TBT.
+		"tbt:260",
 		// 45+35+25+55 = 160 migrated vs 40+30+20+50 = 140 drained.
 		"**KV migration on drains:** 160 within-SLO requests vs 140 under re-prefill (+20 across the grid).",
 	} {

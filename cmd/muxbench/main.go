@@ -12,6 +12,11 @@
 //	muxbench -run frontier         # goodput-per-GPU frontier (Fig. 13 scales)
 //	muxbench -run frontier -frontier-report out.json
 //	                               # ...also write the canonical FrontierReport
+//	muxbench -simcore              # hot-path benchmarks, markdown digest
+//	muxbench -simcore -simcore-write BENCH_simcore.json
+//	                               # ...regenerate the committed baseline
+//	muxbench -simcore -simcore-check BENCH_simcore.json
+//	                               # ...fail on >20% allocs/request regression
 package main
 
 import (
@@ -42,7 +47,20 @@ func main() {
 	asJSON := flag.Bool("json", false, "write results as JSON instead of tables")
 	frontierReport := flag.String("frontier-report", "",
 		"when the frontier experiment runs, also write its canonical FrontierReport JSON here")
+	simcore := flag.Bool("simcore", false,
+		"run the committed hot-path benchmarks (core engine, fleet tick, router pick) and print a markdown digest")
+	simcoreWrite := flag.String("simcore-write", "", "with -simcore: (re)write the BENCH_simcore.json baseline here")
+	simcoreCheck := flag.String("simcore-check", "",
+		"with -simcore: fail if allocs/request regressed >20% against this baseline")
 	flag.Parse()
+
+	if *simcore || *simcoreWrite != "" || *simcoreCheck != "" {
+		if err := runSimcore(*simcoreWrite, *simcoreCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "muxbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// The frontier sweep lives outside internal/experiments (it drives
 	// the public muxwise.Experiment API, which that package underpins),

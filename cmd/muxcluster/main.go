@@ -230,6 +230,8 @@ type routerRow struct {
 	Unstable   bool
 	Failures   int `json:",omitempty"`
 	Unrouted   int `json:",omitempty"`
+	// MissCauses attributes every SLO miss of the run to a cause.
+	MissCauses muxwise.MissBreakdown
 	// Migration accounting (KV streamed on graceful takedowns).
 	MigratedKVTokens   int64   `json:",omitempty"`
 	MigrationStreams   int     `json:",omitempty"`
@@ -273,6 +275,7 @@ func rowOf(name string, res muxwise.ClusterResult, tbtSLO muxwise.Time) routerRo
 		Unstable:   res.Summary.Unstable,
 		Failures:   res.Failures,
 		Unrouted:   res.Unrouted,
+		MissCauses: res.Diagnostics,
 
 		MigratedKVTokens:   res.Migration.MigratedTokens,
 		MigrationStreams:   res.Migration.Streams,
@@ -297,6 +300,40 @@ func rowOf(name string, res muxwise.ClusterResult, tbtSLO muxwise.Time) routerRo
 		row.Events = append(row.Events, fmt.Sprintf("%v %s", ev.At, ev.Msg))
 	}
 	return row
+}
+
+// writeTrace exports the flight recorder to the requested files.
+func writeTrace(fr *muxwise.FlightRecorder, chromePath, jsonlPath string) error {
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "muxcluster: wrote %d trace events to %s\n", fr.Len(), path)
+		return nil
+	}
+	if chromePath != "" {
+		if err := write(chromePath, func(f *os.File) error {
+			return muxwise.WriteChromeTrace(f, fr)
+		}); err != nil {
+			return err
+		}
+	}
+	if jsonlPath != "" {
+		if err := write(jsonlPath, func(f *os.File) error {
+			return muxwise.WriteTraceJSONL(f, fr)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // goodputRow is the JSON record for one router's goodput search.
@@ -404,6 +441,9 @@ func main() {
 	goodput := flag.String("goodput", "",
 		"search fleet goodput over LO:HI instead of one run (req/s for Poisson workloads, burst scale for profile workloads)")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
+	traceOut := flag.String("trace", "",
+		"write a flight-recorder trace of the run as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
+	traceJSONL := flag.String("trace-jsonl", "", "also write the flight-recorder trace as JSONL")
 	flag.Parse()
 
 	specs, err := parseReplicas(*replicas)
@@ -424,6 +464,22 @@ func main() {
 			specFlagSet = true
 		}
 	})
+
+	// The flight recorder records exactly one replayed run, so tracing is
+	// incompatible with goodput search (many probe runs) and with
+	// -router all (one run per policy).
+	var fr *muxwise.FlightRecorder
+	if *traceOut != "" || *traceJSONL != "" {
+		switch {
+		case *goodput != "":
+			fmt.Fprintln(os.Stderr, "muxcluster: -trace records a single run; drop -goodput")
+			os.Exit(2)
+		case len(routers) != 1:
+			fmt.Fprintln(os.Stderr, "muxcluster: -trace records a single run; pick one router, not 'all'")
+			os.Exit(2)
+		}
+		fr = muxwise.NewFlightRecorder()
+	}
 
 	if *goodput != "" {
 		// Goodput mode builds its own traces per probe; the single
@@ -466,12 +522,22 @@ func main() {
 		if dep.Fleet != nil {
 			opts = append(opts, muxwise.WithFleetOptions(*dep.Fleet))
 		}
+		if fr != nil {
+			opts = append(opts, muxwise.WithTrace(fr))
+		}
 		report, err := muxwise.NewExperiment(opts...).Run(trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		rows = append(rows, rowOf(name, *report.Fleet, slo.TBT))
+	}
+
+	if fr != nil {
+		if err := writeTrace(fr, *traceOut, *traceJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "muxcluster:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *asJSON {
@@ -512,6 +578,9 @@ func main() {
 	if row.MigrationStreams > 0 || row.RePrefillKVTokens > 0 {
 		fmt.Printf("\nkv migration: %d streams, %d tokens delivered, %.1f ms stall, %d tokens re-prefilled\n",
 			row.MigrationStreams, row.MigratedKVTokens, row.MigrationStallSecs*1e3, row.RePrefillKVTokens)
+	}
+	if row.MissCauses.Misses > 0 {
+		fmt.Printf("\nslo misses: %s\n", row.MissCauses.String())
 	}
 	if len(row.Events) > 0 {
 		fmt.Println("\nfleet events:")

@@ -1,6 +1,7 @@
 package muxwise_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -89,4 +90,33 @@ func ExampleRegisterRouter() {
 	// routed the whole trace: true
 	// replicas used: 3
 	// all finished: true
+}
+
+// ExampleWithTrace attaches a flight recorder to a fleet run and exports
+// the captured request, router and fleet activity as a Chrome trace
+// (loadable in Perfetto) without perturbing the simulation.
+func ExampleWithTrace() {
+	trace := muxwise.Conversation(5, 20).WithPoissonArrivals(5, 0.5)
+	fr := muxwise.NewFlightRecorder()
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: "A100", GPUs: 1, Model: "Llama-8B"}),
+		muxwise.WithFleet(muxwise.ReplicaSpec{Engine: "MuxWise", Count: 2}),
+		muxwise.WithRouter("least-tokens"),
+		muxwise.WithTrace(fr),
+	)
+	report, err := exp.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	var chrome bytes.Buffer
+	if err := muxwise.WriteChromeTrace(&chrome, fr); err != nil {
+		panic(err)
+	}
+	fmt.Printf("captured events: %v\n", fr.Len() > 0)
+	fmt.Printf("all requests served: %v\n", report.Summary.Finished == trace.Len())
+	fmt.Printf("misses attributed: %q\n", report.MissCauses.String())
+	// Output:
+	// captured events: true
+	// all requests served: true
+	// misses attributed: "prefill:14"
 }

@@ -43,6 +43,7 @@ type Experiment struct {
 	fleet    FleetOptions
 	epochs   Time
 	mk       func(rate float64) *Trace
+	trace    *FlightRecorder
 	errs     []error
 }
 
@@ -222,6 +223,10 @@ type Report struct {
 	Fleet *ClusterResult
 	// Windows holds the fixed-width rollups requested with WithEpochs.
 	Windows []MetricsWindow
+	// MissCauses attributes every SLO miss of the run to a cause
+	// (queue-wait, slow prefill, TBT violation, migration stall, crash,
+	// unfinished) — the decision-attributed goodput diagnostics.
+	MissCauses MissBreakdown
 }
 
 // resolved is an experiment lowered onto the internal runners.
@@ -318,6 +323,10 @@ func (e *Experiment) Run(trace *Trace) (*Report, error) {
 		return nil, fmt.Errorf("muxwise: Run: nil trace")
 	}
 	if r.isFleet {
+		// The flight recorder rides only on Run: Sweep and Goodput
+		// probe concurrently with a shared config, where a single
+		// recorder would interleave unrelated runs.
+		r.cluster.Base.Trace = e.trace
 		res, err := cluster.Run(r.cluster, trace)
 		if err != nil {
 			return nil, err
@@ -328,8 +337,10 @@ func (e *Experiment) Run(trace *Trace) (*Report, error) {
 			Attainment: res.Rec.TBTAttainment(r.slo.TBT),
 			Fleet:      &res,
 			Windows:    e.windows(res.Rec, res.Summary.Makespan, r.slo.TBT),
+			MissCauses: res.Diagnostics,
 		}, nil
 	}
+	r.cfg.Trace = e.trace
 	res := serve.Run(r.factory, r.cfg, trace)
 	return &Report{
 		Summary:    res.Summary,
@@ -337,6 +348,7 @@ func (e *Experiment) Run(trace *Trace) (*Report, error) {
 		Attainment: res.Rec.TBTAttainment(r.slo.TBT),
 		Engine:     &res,
 		Windows:    e.windows(res.Rec, res.Summary.Makespan, r.slo.TBT),
+		MissCauses: res.Diagnostics,
 	}, nil
 }
 

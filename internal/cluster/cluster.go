@@ -35,6 +35,7 @@ import (
 	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
+	"muxwise/internal/obs"
 	"muxwise/internal/serve"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
@@ -300,6 +301,15 @@ type Cluster struct {
 	migStats        MigrationStats
 	migHeld         int
 	kvHolder        map[int]int
+
+	// trace is the flight recorder (nil when tracing is off); fleet
+	// lifecycle, router picks and migration streams are emitted here.
+	// crashedReqs / heldReqs remember which requests were ever aborted
+	// off a failed replica or held on a KV-migration stream — the
+	// diagnostics rollup attributes their SLO misses to those causes.
+	trace       *obs.Tracer
+	crashedReqs map[int]bool
+	heldReqs    map[int]bool
 }
 
 // validate checks the config without constructing any engine.
@@ -339,7 +349,12 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Sim: s, Router: cfg.Policy(), base: cfg.Base, nameSeq: map[string]int{}, kvHolder: map[int]int{}}
+	c := &Cluster{
+		Sim: s, Router: cfg.Policy(), base: cfg.Base,
+		nameSeq: map[string]int{}, kvHolder: map[int]int{},
+		trace:       cfg.Base.Trace,
+		crashedReqs: map[int]bool{}, heldReqs: map[int]bool{},
+	}
 	c.migCfg = cfg.Migration
 	if c.migCfg.Handoff <= 0 {
 		c.migCfg.Handoff = kvcache.DefaultHandoff
@@ -359,7 +374,33 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 		}
 	}
 	c.mark("start")
+	if c.trace != nil {
+		c.trace.Counter(0, "fleet", "replicas", obs.Arg{Key: "ready", Val: c.readyCount()})
+	}
 	return c, nil
+}
+
+// readyCount counts routable (ready) replicas — the series the fleet
+// track's replica counter samples.
+func (c *Cluster) readyCount() int {
+	n := 0
+	for _, rep := range c.Replicas {
+		if rep.State == StateReady {
+			n++
+		}
+	}
+	return n
+}
+
+// traceFleet emits one fleet-track instant plus a fresh sample of the
+// ready-replica counter. No-op when tracing is off.
+func (c *Cluster) traceFleet(name string, args ...obs.Arg) {
+	if c.trace == nil {
+		return
+	}
+	now := c.Sim.Now()
+	c.trace.Instant(now, "fleet", name, args...)
+	c.trace.Counter(now, "fleet", "replicas", obs.Arg{Key: "ready", Val: c.readyCount()})
 }
 
 // addReplica constructs one replica (in StateStarting) and appends it to
@@ -475,12 +516,32 @@ func (c *Cluster) aggCache() kvcache.Stats {
 func (c *Cluster) Submit(r *workload.Request) *Replica {
 	cands := c.Routable()
 	if len(cands) == 0 {
+		if c.trace != nil {
+			c.trace.Instant(c.Sim.Now(), "router", "queued-unrouted",
+				obs.Arg{Key: "req", Val: r.ID}, obs.Arg{Key: "session", Val: r.Session})
+		}
 		c.pending = append(c.pending, r)
 		return nil
 	}
 	rep := c.Router.Pick(r, FleetView{Now: c.Sim.Now(), Candidates: cands, c: c})
 	if rep == nil || !rep.routable() {
 		rep = cands[0]
+	}
+	if c.trace != nil {
+		// One pick record per placement, carrying each candidate's load
+		// score at decision time so the choice is explainable post hoc.
+		args := make([]obs.Arg, 0, len(cands)+3)
+		args = append(args,
+			obs.Arg{Key: "req", Val: r.ID},
+			obs.Arg{Key: "input_tokens", Val: r.InputTokens},
+			obs.Arg{Key: "picked", Val: rep.Name})
+		for _, cand := range cands {
+			args = append(args, obs.Arg{
+				Key: cand.Name,
+				Val: fmt.Sprintf("%dtok/%dreq", cand.outTokens, cand.inFlight),
+			})
+		}
+		c.trace.Instant(c.Sim.Now(), "router", "pick", args...)
 	}
 	rep.submit(r)
 	return rep
@@ -508,6 +569,8 @@ func (c *Cluster) Spawn(spec ReplicaSpec, coldStart sim.Time) *Replica {
 		return rep
 	}
 	c.logf("spawn %s (cold start %v)", rep.Name, coldStart)
+	c.traceFleet("spawn", obs.Arg{Key: "replica", Val: rep.Name},
+		obs.Arg{Key: "cold_start_ms", Val: coldStart.Milliseconds()})
 	c.Sim.After(coldStart, func() { c.makeReady(rep) })
 	return rep
 }
@@ -521,6 +584,7 @@ func (c *Cluster) makeReady(rep *Replica) {
 	rep.ReadyAt = c.Sim.Now()
 	c.logf("ready %s", rep.Name)
 	c.mark("ready " + rep.Name)
+	c.traceFleet("ready", obs.Arg{Key: "replica", Val: rep.Name})
 	c.flushPending()
 }
 
@@ -538,6 +602,8 @@ func (c *Cluster) Drain(rep *Replica) {
 	rep.State = StateDraining
 	c.logf("drain %s (%d in flight)", rep.Name, rep.inFlight)
 	c.mark("drain " + rep.Name)
+	c.traceFleet("drain", obs.Arg{Key: "replica", Val: rep.Name},
+		obs.Arg{Key: "in_flight", Val: rep.inFlight})
 	// The draining replica left the routable set, so its sessions
 	// re-route from this instant on; stream their KV after it.
 	c.drainMigrations(rep)
@@ -587,12 +653,26 @@ func (c *Cluster) takeDown(rep *Replica, state State, label string) {
 	// Surface in-flight requests (arrival order) and withdraw them from
 	// the dead recorder so they can re-arrive elsewhere under the same ID.
 	var redispatch []*workload.Request
+	outcome := "redispatch"
+	if state == StateFailed {
+		outcome = "crash"
+	}
 	for _, id := range rep.Inst.Open() {
 		req, ok := rep.reqs[id]
 		if !ok {
 			continue
 		}
 		rep.Inst.Abort(id)
+		// Close the aborted request's span here (the recorder has no
+		// notion of "now"); re-dispatch opens a fresh span for the same
+		// ID on the surviving replica's track.
+		if c.trace != nil {
+			c.trace.AsyncEnd(now, rep.Name, "request", int64(id), "request",
+				obs.Arg{Key: "outcome", Val: outcome})
+		}
+		if state == StateFailed {
+			c.crashedReqs[id] = true
+		}
 		redispatch = append(redispatch, req)
 	}
 	rep.inFlight = 0
@@ -618,6 +698,8 @@ func (c *Cluster) takeDown(rep *Replica, state State, label string) {
 	c.cancelMigrations(rep, state == StateFailed)
 	c.logf("%s %s (%d in-flight re-dispatched)", label, rep.Name, len(redispatch))
 	c.mark(label + " " + rep.Name)
+	c.traceFleet(label, obs.Arg{Key: "replica", Val: rep.Name},
+		obs.Arg{Key: "redispatched", Val: len(redispatch)})
 	graceful := c.migCfg.Enabled && state != StateFailed
 	for _, req := range redispatch {
 		// A graceful retire streams each re-dispatched request's input
@@ -744,6 +826,13 @@ type Result struct {
 	// Migration aggregates the run's KV-migration accounting (zero when
 	// migration is disabled or the fleet never drained).
 	Migration MigrationStats
+
+	// Diagnostics attributes every SLO miss of the run to a cause:
+	// queue-wait, slow prefill, TBT violation, migration stall, crash,
+	// or unfinished work (including never-routed requests).
+	Diagnostics metrics.MissBreakdown
+	// Loop snapshots the event loop's perf counters for the run.
+	Loop sim.LoopStats
 }
 
 // MeanUtil averages blended GPU utilization across all replica devices.
@@ -891,6 +980,13 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 	res.Migration.UndeliveredTokens = c.undeliveredTokens()
 	res.Summary.MigratedKVTokens = res.Migration.MigratedTokens
 	res.Summary.MigrationStallSeconds = res.Migration.Stall.Seconds()
+	res.Diagnostics = res.Rec.Diagnose(cfg.Base.SLO, metrics.DiagnoseAux{
+		Crashed:    c.crashedReqs,
+		Held:       c.heldReqs,
+		Unrouted:   len(c.pending),
+		InFlightKV: c.migHeld,
+	})
+	res.Loop = s.Stats()
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"muxwise/internal/metrics"
+	"muxwise/internal/obs"
 	"muxwise/internal/sim"
 )
 
@@ -381,6 +382,19 @@ func (fc *FleetController) tick() {
 	c := fc.c
 	snap := fc.snapshot()
 	d := fc.cfg.Scaler.Decide(snap)
+	if c.trace != nil {
+		// Record the decision with the signal that triggered it, so a
+		// scale-up seen in the trace is attributable to the backlog or
+		// TTFT tail the scaler observed at this tick.
+		c.trace.Instant(c.Sim.Now(), "fleet", "autoscale",
+			obs.Arg{Key: "scaler", Val: fc.cfg.Scaler.Name()},
+			obs.Arg{Key: "decision", Val: d},
+			obs.Arg{Key: "backlog", Val: snap.Metrics.Backlog},
+			obs.Arg{Key: "p99_ttft_ms", Val: snap.Metrics.TTFT.P99 * 1e3},
+			obs.Arg{Key: "ready", Val: snap.Ready},
+			obs.Arg{Key: "starting", Val: snap.Starting},
+			obs.Arg{Key: "draining", Val: snap.Draining})
+	}
 	size := snap.Ready + snap.Starting
 	for ; d > 0 && size < fc.cfg.Max; d-- {
 		c.Spawn(fc.spawnSpec(ReplicaSpec{}), fc.cfg.ColdStart)

@@ -5,6 +5,7 @@ import (
 
 	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
+	"muxwise/internal/obs"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
 )
@@ -124,6 +125,7 @@ func (c *Cluster) forgetKV(rep *Replica) {
 
 // migration is one in-flight KV stream.
 type migration struct {
+	id       int // stream index, correlates the flight-recorder span
 	session  int
 	src, dst int // replica IDs
 	tokens   int64
@@ -190,10 +192,24 @@ func (c *Cluster) migrateKV(src *Replica, session int, tokens int64, pages []kvc
 	}
 	link := gpu.LinkBetween(c.hwOf(src), c.hwOf(dst))
 	d := kvcache.TransferTime(tokens, c.kvBytesPerToken, link, c.migCfg.Handoff)
-	m := &migration{session: session, src: src.ID, dst: dst.ID, tokens: tokens, pages: pages, req: req}
+	m := &migration{id: len(c.migs), session: session, src: src.ID, dst: dst.ID, tokens: tokens, pages: pages, req: req}
 	c.migs = append(c.migs, m)
 	c.migStats.Streams++
 	c.migStats.Stall += d
+	if c.trace != nil {
+		c.trace.AsyncBegin(c.Sim.Now(), "migration", "kv-migration", int64(m.id), "kv-stream",
+			obs.Arg{Key: "session", Val: session},
+			obs.Arg{Key: "src", Val: src.Name},
+			obs.Arg{Key: "dst", Val: dst.Name},
+			obs.Arg{Key: "tokens", Val: tokens},
+			obs.Arg{Key: "bytes", Val: int64(float64(tokens) * c.kvBytesPerToken)},
+			obs.Arg{Key: "link", Val: link.Class.String()},
+			obs.Arg{Key: "eta_ms", Val: d.Milliseconds()},
+			obs.Arg{Key: "holds_request", Val: req != nil})
+	}
+	if req != nil {
+		c.heldReqs[req.ID] = true
+	}
 
 	// The in-transit KV counts against the destination's token load
 	// from the moment the stream is committed, so routers see the
@@ -234,10 +250,14 @@ func (c *Cluster) finishMigration(m *migration) {
 		c.kvHolder[m.session] = dst.ID
 		dst.sessions[m.session] = sessionKV{tokens: m.tokens, pages: m.pages}
 	}
-	if obs, ok := c.Router.(MigrationObserver); ok {
-		obs.SessionMigrated(m.session, m.src, m.dst, m.pages)
+	if mo, ok := c.Router.(MigrationObserver); ok {
+		mo.SessionMigrated(m.session, m.src, m.dst, m.pages)
 	}
 	c.logf("kv-arrived session %d at %s (%d tokens)", m.session, dst.Name, m.tokens)
+	if c.trace != nil {
+		c.trace.AsyncEnd(c.Sim.Now(), "migration", "kv-migration", int64(m.id), "kv-stream",
+			obs.Arg{Key: "outcome", Val: "delivered"})
+	}
 	if m.req != nil {
 		c.migHeld--
 		if dst.routable() {
@@ -274,6 +294,10 @@ func (c *Cluster) cancelMigrations(rep *Replica, srcCrashed bool) {
 		c.migStats.CanceledTokens += m.tokens
 		c.logf("kv-migration canceled session %d %s -> %s (%d tokens re-prefill)",
 			m.session, c.Replicas[m.src].Name, dst.Name, m.tokens)
+		if c.trace != nil {
+			c.trace.AsyncEnd(c.Sim.Now(), "migration", "kv-migration", int64(m.id), "kv-stream",
+				obs.Arg{Key: "outcome", Val: "canceled"})
+		}
 		if m.req != nil {
 			// The held request lost its stream: re-dispatch it now; it
 			// pays the re-prefill wherever the router places it.

@@ -23,6 +23,7 @@ import (
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
 	"muxwise/internal/model"
+	"muxwise/internal/obs"
 	"muxwise/internal/serve"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
@@ -111,7 +112,14 @@ type Engine struct {
 	configs     []int
 	curConfig   int
 	preemptions int
+
+	// prefillSpan tracks whether a flight-recorder span is open for the
+	// active prefill job (invariant while tracing: open ⇔ active != nil).
+	prefillSpan bool
 }
+
+// track names the engine's flight-recorder track for one stream.
+func (e *Engine) track(stream string) string { return e.env.Label + "/" + stream }
 
 // Preemptions returns how many prefill batches preempted another.
 func (e *Engine) Preemptions() int { return e.preemptions }
@@ -193,6 +201,7 @@ func (e *Engine) admitPending() {
 		if run == nil {
 			return // pool full; retry on completion
 		}
+		e.env.Admitted(r.ID)
 		e.pending = e.pending[1:]
 		e.enqueue(run)
 	}
@@ -296,7 +305,15 @@ func (e *Engine) maybePreempt(job *prefillJob) {
 	e.queue = e.queue[:len(e.queue)-1]
 	e.queue = append([]*prefillJob{job, a}, e.queue...)
 	e.active = nil // in-air layers drain, then the preemptor runs
+	if e.prefillSpan {
+		e.prefillSpan = false
+		e.env.Trace.End(now, e.track("prefill"), "prefill", traceArg("outcome", "preempted"))
+	}
 }
+
+// traceArg builds one flight-recorder annotation; a tiny alias so emit
+// sites stay on one line.
+func traceArg(k string, v any) obs.Arg { return obs.Arg{Key: k, Val: v} }
 
 // prefillSMs returns the SMs the prefill partition would own under the
 // current split.
@@ -345,6 +362,10 @@ func (e *Engine) chooseConfig() int {
 // take effect for kernels that begin executing afterwards.
 func (e *Engine) reconfigure(decodeSMs int) {
 	prefillSMs := e.env.Spec.SMs - decodeSMs
+	if e.env.Trace != nil && decodeSMs != e.curConfig {
+		e.env.Trace.Counter(e.env.Sim.Now(), e.track("decode"), "sm-partition",
+			traceArg("decode", decodeSMs), traceArg("prefill", prefillSMs))
+	}
 	e.curConfig = decodeSMs
 	e.decodeP.SetSMs(decodeSMs)
 	e.prefillP.SetSMs(prefillSMs)
@@ -368,6 +389,11 @@ func (e *Engine) startDecode() {
 	cost := e.env.Arch.DecodeIter(ctxs, e.env.GPUs)
 	e.decodeRunning = true
 	e.decodeIterStart = e.env.Sim.Now()
+	if e.env.Trace != nil {
+		e.env.Trace.Begin(e.decodeIterStart, e.track("decode"), "decode-iter",
+			traceArg("bs", e.decode.Size()), traceArg("ctx", e.decode.TotalCtx()),
+			traceArg("sms", e.curConfig))
+	}
 	e.decodeSolo = e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), e.curConfig)
 	e.decodeP.Launch(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
@@ -381,6 +407,9 @@ func (e *Engine) startDecode() {
 func (e *Engine) onDecodeDone() {
 	now := e.env.Sim.Now()
 	e.decodeRunning = false
+	if e.env.Trace != nil {
+		e.env.Trace.End(now, e.track("decode"), "decode-iter")
+	}
 
 	// Runtime refinement of the contention guard (§3.3.2): observed
 	// iteration latency over predicted solo.
@@ -438,6 +467,12 @@ func (e *Engine) pumpPrefill() {
 	j := e.active
 	if j == nil {
 		return
+	}
+	if e.env.Trace != nil && !e.prefillSpan {
+		e.prefillSpan = true
+		e.env.Trace.Begin(e.env.Sim.Now(), e.track("prefill"), "prefill",
+			traceArg("reqs", len(j.reqs)), traceArg("new_tokens", j.newTokens()),
+			traceArg("reused_tokens", j.reusedTokens()), traceArg("preemptor", j.isPreemptor))
 	}
 	// The prefill partition only has SMs after a reconfiguration. It
 	// takes the whole device when decode is idle — or when decode is
@@ -522,6 +557,11 @@ func (e *Engine) onLayerDone(j *prefillJob) {
 func (e *Engine) finishPrefill(j *prefillJob) {
 	if e.active == j {
 		e.active = nil
+		if e.prefillSpan {
+			e.prefillSpan = false
+			e.env.Trace.End(e.env.Sim.Now(), e.track("prefill"), "prefill",
+				traceArg("outcome", "done"))
+		}
 	}
 	for i, q := range e.queue {
 		if q == j {

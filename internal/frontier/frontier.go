@@ -381,6 +381,7 @@ func (m Matrix) runCell(comp Composition, cond, router string, scale float64) (C
 		Unstable:      rep.Summary.Unstable,
 		Failures:      fleet.Failures,
 		GPUSeconds:    round(gpuSeconds),
+		MissCauses:    rep.MissCauses,
 	}, nil
 }
 

@@ -291,11 +291,37 @@ func TestCompareTolerance(t *testing.T) {
 		"frontier dropped":   func(r *Report) { r.Frontiers = nil },
 		"cache regression":   func(r *Report) { r.Cells[0].CacheHit = 0.1 },
 		"gpu-seconds change": func(r *Report) { r.Cells[0].GPUSeconds *= 2 },
+		"miss-cause shift": func(r *Report) {
+			r.Cells[0].MissCauses.Misses += 10
+			r.Cells[0].MissCauses.QueuedTooLong += 10
+		},
 	} {
 		got := mk()
 		mut(got)
 		if diffs := Compare(got, mk(), DefaultTolerance()); len(diffs) == 0 {
 			t.Errorf("%s: comparator saw no difference", name)
+		}
+	}
+}
+
+// TestMissAttribution: in every cell the diagnostics account for the
+// goodput gap exactly — Misses equals Offered − WithinSLO — and at
+// least 95% of those misses land on a concrete cause (the Other bucket
+// is the attribution residue).
+func TestMissAttribution(t *testing.T) {
+	rep := quickReport(t)
+	for _, c := range rep.Cells {
+		mc := c.MissCauses
+		if want := c.Offered - c.WithinSLO; mc.Misses != want {
+			t.Errorf("%s: miss_causes.misses %d, want offered−within_slo = %d",
+				c.key(), mc.Misses, want)
+		}
+		if mc.Misses == 0 {
+			continue
+		}
+		if rate := mc.AttributionRate(); rate < 0.95 {
+			t.Errorf("%s: only %.1f%% of %d misses attributed (%s)",
+				c.key(), rate*100, mc.Misses, mc.String())
 		}
 	}
 }

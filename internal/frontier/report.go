@@ -7,6 +7,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"muxwise"
 )
 
 // Schema versions the report layout; bump it when a field changes
@@ -81,6 +83,11 @@ type Cell struct {
 
 	Unstable bool `json:"unstable"`
 	Failures int  `json:"failures"`
+
+	// MissCauses attributes every SLO miss of the cell to a cause
+	// (queue-wait, slow prefill, TBT violation, migration stall, crash,
+	// unfinished). Its Misses total always equals Offered − WithinSLO.
+	MissCauses muxwise.MissBreakdown `json:"miss_causes"`
 }
 
 // key returns the cell's canonical identity.
@@ -389,6 +396,24 @@ func Compare(got, want *Report, tol Tolerance) []string {
 		}
 		if g.Failures != w.Failures {
 			addf("cell %s: failures got %d, golden %d", k, g.Failures, w.Failures)
+		}
+		for _, f := range []struct {
+			name      string
+			got, want int
+		}{
+			{"miss_causes.misses", g.MissCauses.Misses, w.MissCauses.Misses},
+			{"miss_causes.queued_too_long", g.MissCauses.QueuedTooLong, w.MissCauses.QueuedTooLong},
+			{"miss_causes.slow_prefill", g.MissCauses.SlowPrefill, w.MissCauses.SlowPrefill},
+			{"miss_causes.tbt_violation", g.MissCauses.TBTViolation, w.MissCauses.TBTViolation},
+			{"miss_causes.migration_stall", g.MissCauses.MigrationStall, w.MissCauses.MigrationStall},
+			{"miss_causes.crash", g.MissCauses.Crash, w.MissCauses.Crash},
+			{"miss_causes.unfinished", g.MissCauses.Unfinished, w.MissCauses.Unfinished},
+			{"miss_causes.other", g.MissCauses.Other, w.MissCauses.Other},
+		} {
+			if !countOK(f.got, f.want, tol.CountRel) {
+				addf("cell %s: %s got %d, golden %d (count tolerance %.0f%%)",
+					k, f.name, f.got, f.want, tol.CountRel*100)
+			}
 		}
 	}
 	for k := range wantCells {

@@ -107,6 +107,7 @@ func (e *Engine) admit() {
 		if e.reservedTokens+need > e.capTokensPerGPU*int64(e.total) {
 			return
 		}
+		e.env.Admitted(r.ID)
 		e.pending = e.pending[1:]
 		e.reservedTokens += need
 		run := &serve.Running{R: r} // CachedTokens stays 0: no reuse

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"muxwise/internal/obs"
 	"muxwise/internal/sim"
 )
 
@@ -26,6 +27,7 @@ type SLO struct {
 // reqRec tracks one request's lifecycle.
 type reqRec struct {
 	arrival     sim.Time
+	admitted    sim.Time // -1 until the engine admits it out of its queue
 	firstToken  sim.Time
 	lastToken   sim.Time
 	finished    sim.Time
@@ -66,11 +68,24 @@ type Recorder struct {
 	// token is observed, with the request's TTFT (learned routers use it
 	// to track per-replica first-token latency).
 	OnFirstToken func(id int, ttft sim.Time)
+
+	// trace, when set, receives request lifecycle events (arrival,
+	// admission, first token, finish) on the named track. Emission is
+	// purely observational; a nil trace costs nothing.
+	trace *obs.Tracer
+	track string
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{reqs: map[int]*reqRec{}}
+}
+
+// SetTrace attaches a flight recorder; lifecycle events are emitted on
+// track (the owning instance's label). A nil tracer detaches.
+func (r *Recorder) SetTrace(tr *obs.Tracer, track string) {
+	r.trace = tr
+	r.track = track
 }
 
 // Arrive registers a request's arrival.
@@ -81,8 +96,29 @@ func (r *Recorder) Arrive(id int, at sim.Time, inputTokens int) {
 	if _, ok := r.reqs[id]; ok {
 		return
 	}
-	r.reqs[id] = &reqRec{arrival: at, firstToken: -1, inputTokens: inputTokens}
+	r.reqs[id] = &reqRec{arrival: at, admitted: -1, firstToken: -1, inputTokens: inputTokens}
 	r.ids = append(r.ids, id)
+	if r.trace != nil {
+		r.trace.AsyncBegin(at, r.track, "request", int64(id), "request",
+			obs.Arg{Key: "input_tokens", Val: inputTokens})
+	}
+}
+
+// Admitted records the instant the engine accepted the request out of
+// its arrival queue into serving (KV reserved, prefill scheduled). The
+// diagnostics rollup uses it to split a TTFT miss into queue-wait vs
+// prefill time. First call wins; unknown requests and halted recorders
+// are ignored.
+func (r *Recorder) Admitted(id int, at sim.Time) {
+	rec, ok := r.reqs[id]
+	if !ok || r.halted || rec.admitted >= 0 {
+		return
+	}
+	rec.admitted = at
+	if r.trace != nil {
+		r.trace.AsyncInstant(at, r.track, "request", int64(id), "admitted",
+			obs.Arg{Key: "queue_ms", Val: (at - rec.arrival).Milliseconds()})
+	}
 }
 
 // PrefillDone credits processed prefill tokens (throughput accounting).
@@ -107,6 +143,10 @@ func (r *Recorder) Token(id int, at sim.Time) {
 		if r.OnFirstToken != nil {
 			r.OnFirstToken(id, at-rec.arrival)
 		}
+		if r.trace != nil {
+			r.trace.AsyncInstant(at, r.track, "request", int64(id), "first-token",
+				obs.Arg{Key: "ttft_ms", Val: (at - rec.arrival).Milliseconds()})
+		}
 	} else {
 		r.tbt = append(r.tbt, tbtSample{id: id, at: at, v: (at - rec.lastToken).Seconds()})
 	}
@@ -123,6 +163,11 @@ func (r *Recorder) Finish(id int, at sim.Time) {
 		rec.done = true
 		if r.OnFinish != nil {
 			r.OnFinish(id, at)
+		}
+		if r.trace != nil {
+			r.trace.AsyncEnd(at, r.track, "request", int64(id), "request",
+				obs.Arg{Key: "outcome", Val: "finish"},
+				obs.Arg{Key: "tokens", Val: rec.tokens})
 		}
 	}
 }

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"muxwise/internal/sim"
+)
+
+// WriteChromeTrace serializes the recorded events as Chrome trace-event
+// JSON (the "JSON object format"), loadable in Perfetto and
+// chrome://tracing. The whole simulation is one process (pid 1); each
+// track becomes a named thread, with thread IDs assigned in first-use
+// order so the serialization is byte-deterministic for a deterministic
+// run. A nil tracer writes a valid empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	put := func(b []byte) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.Write(b)
+	}
+	if t != nil {
+		put([]byte(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"muxwise"}}`))
+		tid := map[string]int{}
+		for i, track := range t.tracks {
+			tid[track] = i + 1
+			var b []byte
+			b = append(b, `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+			b = strconv.AppendInt(b, int64(i+1), 10)
+			b = append(b, `,"args":{"name":`...)
+			b = appendJSONString(b, track)
+			b = append(b, `}}`...)
+			put(b)
+			b = b[:0]
+			b = append(b, `{"name":"thread_sort_index","ph":"M","pid":1,"tid":`...)
+			b = strconv.AppendInt(b, int64(i+1), 10)
+			b = append(b, `,"args":{"sort_index":`...)
+			b = strconv.AppendInt(b, int64(i+1), 10)
+			b = append(b, `}}`...)
+			put(b)
+		}
+		var b []byte
+		for _, ev := range t.events {
+			b = appendChromeEvent(b[:0], ev, tid[ev.Track])
+			put(b)
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+func appendChromeEvent(b []byte, ev Event, tid int) []byte {
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, ev.Name)
+	if ev.Cat != "" {
+		b = append(b, `,"cat":`...)
+		b = appendJSONString(b, ev.Cat)
+	}
+	b = append(b, `,"ph":"`...)
+	b = append(b, ev.Ph)
+	b = append(b, `","ts":`...)
+	b = appendMicros(b, ev.At)
+	b = append(b, `,"pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	switch ev.Ph {
+	case PhaseAsyncBegin, PhaseAsyncInstant, PhaseAsyncEnd:
+		b = append(b, `,"id":`...)
+		b = strconv.AppendInt(b, ev.ID, 10)
+	}
+	if len(ev.Args) > 0 {
+		b = append(b, `,"args":{`...)
+		for i, a := range ev.Args {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, a.Key)
+			b = append(b, ':')
+			b = appendArgVal(b, a.Val)
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// appendMicros renders a simulation time (integer nanoseconds) as
+// microseconds with exactly three decimals — lossless, and free of
+// float formatting variance.
+func appendMicros(b []byte, at sim.Time) []byte {
+	us, ns := int64(at)/1000, int64(at)%1000
+	b = strconv.AppendInt(b, us, 10)
+	b = append(b, '.')
+	b = append(b, byte('0'+ns/100), byte('0'+ns/10%10), byte('0'+ns%10))
+	return b
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	q, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(b, `""`...)
+	}
+	return append(b, q...)
+}
+
+func appendArgVal(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case sim.Time:
+		return strconv.AppendInt(b, int64(x), 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	default:
+		return appendJSONString(b, fmt.Sprintf("%v", x))
+	}
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks
+// the structural invariants Perfetto relies on: every event carries a
+// known single-character ph plus numeric ts/pid/tid; duration B/E spans
+// nest and close in LIFO order per (pid, tid) with non-decreasing
+// timestamps; every async end matches an open (cat, id) span. Spans
+// still open when the trace ends are allowed (a run's horizon can cut
+// work mid-flight; viewers render these as extending to the end). It
+// returns a list of human-readable problems, empty for a valid trace.
+func ValidateChromeTrace(data []byte) []string {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{fmt.Sprintf("not a trace-event JSON object: %v", err)}
+	}
+	if doc.TraceEvents == nil {
+		return []string{"missing traceEvents array"}
+	}
+	type span struct {
+		name string
+		ts   float64
+	}
+	var issues []string
+	addf := func(format string, args ...any) {
+		if len(issues) < 20 {
+			issues = append(issues, fmt.Sprintf(format, args...))
+		}
+	}
+	stacks := map[string][]span{}   // (pid,tid) -> open B spans
+	lastTS := map[string]float64{}  // (pid,tid) -> last sync-event ts
+	async := map[string][]float64{} // (cat,id) -> open b timestamps
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			PID  *int     `json:"pid"`
+			TID  *int     `json:"tid"`
+			ID   *int64   `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			addf("event %d: malformed: %v", i, err)
+			continue
+		}
+		switch ev.Ph {
+		case "B", "E", "i", "C", "b", "n", "e", "M":
+		default:
+			addf("event %d (%s): bad ph %q", i, ev.Name, ev.Ph)
+			continue
+		}
+		if ev.PID == nil || ev.TID == nil {
+			addf("event %d (%s): missing pid/tid", i, ev.Name)
+			continue
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS == nil {
+			addf("event %d (%s): missing ts", i, ev.Name)
+			continue
+		}
+		if *ev.TS < 0 {
+			addf("event %d (%s): negative ts %v", i, ev.Name, *ev.TS)
+		}
+		track := fmt.Sprintf("%d/%d", *ev.PID, *ev.TID)
+		switch ev.Ph {
+		case "B", "E", "i", "C":
+			if *ev.TS < lastTS[track] {
+				addf("event %d (%s): ts %v goes backwards on track %s", i, ev.Name, *ev.TS, track)
+			}
+			lastTS[track] = *ev.TS
+		}
+		switch ev.Ph {
+		case "B":
+			stacks[track] = append(stacks[track], span{ev.Name, *ev.TS})
+		case "E":
+			st := stacks[track]
+			if len(st) == 0 {
+				addf("event %d (%s): E with no open B on track %s", i, ev.Name, track)
+				continue
+			}
+			top := st[len(st)-1]
+			if *ev.TS < top.ts {
+				addf("event %d (%s): E at %v before its B at %v", i, ev.Name, *ev.TS, top.ts)
+			}
+			stacks[track] = st[:len(st)-1]
+		case "b":
+			if ev.ID == nil {
+				addf("event %d (%s): async begin without id", i, ev.Name)
+				continue
+			}
+			key := fmt.Sprintf("%s/%d", ev.Cat, *ev.ID)
+			async[key] = append(async[key], *ev.TS)
+		case "n", "e":
+			if ev.ID == nil {
+				addf("event %d (%s): async event without id", i, ev.Name)
+				continue
+			}
+			key := fmt.Sprintf("%s/%d", ev.Cat, *ev.ID)
+			open := async[key]
+			if len(open) == 0 {
+				addf("event %d (%s): async %s with no open begin for %s", i, ev.Name, ev.Ph, key)
+				continue
+			}
+			if *ev.TS < open[len(open)-1] {
+				addf("event %d (%s): async %s at %v before its begin at %v", i, ev.Name, ev.Ph, *ev.TS, open[len(open)-1])
+			}
+			if ev.Ph == "e" {
+				async[key] = open[:len(open)-1]
+			}
+		}
+	}
+	return issues
+}

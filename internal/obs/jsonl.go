@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL serializes the recorded events as one compact JSON object
+// per line, in emission order — the scripted-analysis counterpart of
+// WriteChromeTrace. Each line carries at (integer nanoseconds), ph,
+// track and name, plus cat/id for async events and args when present.
+// A nil tracer writes nothing.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var b []byte
+	for _, ev := range t.events {
+		b = b[:0]
+		b = append(b, `{"at":`...)
+		b = strconv.AppendInt(b, int64(ev.At), 10)
+		b = append(b, `,"ph":"`...)
+		b = append(b, ev.Ph)
+		b = append(b, `","track":`...)
+		b = appendJSONString(b, ev.Track)
+		if ev.Cat != "" {
+			b = append(b, `,"cat":`...)
+			b = appendJSONString(b, ev.Cat)
+		}
+		switch ev.Ph {
+		case PhaseAsyncBegin, PhaseAsyncInstant, PhaseAsyncEnd:
+			b = append(b, `,"id":`...)
+			b = strconv.AppendInt(b, ev.ID, 10)
+		}
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, ev.Name)
+		if len(ev.Args) > 0 {
+			b = append(b, `,"args":{`...)
+			for i, a := range ev.Args {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = appendJSONString(b, a.Key)
+				b = append(b, ':')
+				b = appendArgVal(b, a.Val)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, '}', '\n')
+		bw.Write(b)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,173 @@
+// Package obs is the flight recorder: a deterministic, append-only
+// event tracer threaded through the simulator, the serving engines and
+// the cluster. It answers "why did this run behave that way" after the
+// fact — per-request lifecycle spans, fleet lifecycle events, router
+// pick records and KV-migration streams — without perturbing the run
+// that produced them.
+//
+// Two properties are load-bearing:
+//
+//   - Zero overhead when disabled. Every emit method is safe on a nil
+//     *Tracer and returns immediately, so call sites pass the tracer
+//     through unconditionally; only sites that must build arguments
+//     first guard with an explicit nil check.
+//
+//   - Pure observation. A Tracer only appends to its own buffers. It
+//     never schedules simulation events, never mutates engine or fleet
+//     state, and never influences iteration order — so a run traced and
+//     a run untraced produce byte-identical summaries. The determinism
+//     guard test in the root package pins this.
+//
+// Events use the Chrome trace-event vocabulary directly (duration
+// B/E spans, instants, counters, async b/n/e spans correlated by
+// category+ID) so the export to Perfetto / chrome://tracing in
+// WriteChromeTrace is a straight serialization, and the compact JSONL
+// stream in WriteJSONL carries the same records for scripted analysis.
+package obs
+
+import "muxwise/internal/sim"
+
+// Event phases, a subset of the Chrome trace-event format's ph field.
+const (
+	PhaseBegin        byte = 'B' // duration span open (nests per track)
+	PhaseEnd          byte = 'E' // duration span close
+	PhaseInstant      byte = 'i' // point event
+	PhaseCounter      byte = 'C' // numeric series sample
+	PhaseAsyncBegin   byte = 'b' // async span open (correlated by Cat+ID)
+	PhaseAsyncInstant byte = 'n' // async span milestone
+	PhaseAsyncEnd     byte = 'e' // async span close
+)
+
+// Arg is one key/value annotation on an event. Values should be
+// strings, bools, ints, int64s, sim.Times or float64s; anything else is
+// rendered with %v at serialization time.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event is one recorded observation. At is simulation time; Track names
+// the timeline the event renders on (a replica, "fleet", "router");
+// Cat+ID correlate async begin/instant/end triples across tracks.
+type Event struct {
+	At    sim.Time
+	Ph    byte
+	Cat   string
+	Name  string
+	Track string
+	ID    int64
+	Args  []Arg
+}
+
+// Tracer accumulates events in emission order. One tracer serves one
+// run: the simulator's event loop is single-goroutine, so there is no
+// locking — do not share a tracer across concurrent runs (Sweep and
+// Goodput probes deliberately run untraced for this reason).
+//
+// The zero value of *Tracer — nil — is the disabled recorder: every
+// method is a no-op.
+type Tracer struct {
+	events    []Event
+	trackSeen map[string]bool
+	tracks    []string
+}
+
+// New returns an empty, enabled tracer.
+func New() *Tracer { return &Tracer{trackSeen: map[string]bool{}} }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order. The slice is
+// the tracer's own buffer; treat it as read-only.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Tracks returns the track names in first-use order — the order the
+// Chrome export assigns thread IDs.
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	return t.tracks
+}
+
+func (t *Tracer) emit(ev Event) {
+	if !t.trackSeen[ev.Track] {
+		t.trackSeen[ev.Track] = true
+		t.tracks = append(t.tracks, ev.Track)
+	}
+	t.events = append(t.events, ev)
+}
+
+// Begin opens a duration span on track. Spans on one track must nest:
+// close them with End in LIFO order.
+func (t *Tracer) Begin(at sim.Time, track, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseBegin, Name: name, Track: track, Args: args})
+}
+
+// End closes the innermost open duration span on track.
+func (t *Tracer) End(at sim.Time, track, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseEnd, Name: name, Track: track, Args: args})
+}
+
+// Instant records a point event on track.
+func (t *Tracer) Instant(at sim.Time, track, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseInstant, Name: name, Track: track, Args: args})
+}
+
+// Counter samples one or more numeric series under name on track. Arg
+// values must be numeric; each key renders as its own series.
+func (t *Tracer) Counter(at sim.Time, track, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseCounter, Name: name, Track: track, Args: args})
+}
+
+// AsyncBegin opens an async span correlated by (cat, id). Async spans
+// may cross tracks (a request hops replicas; the matching AsyncEnd can
+// land elsewhere) and need not nest.
+func (t *Tracer) AsyncBegin(at sim.Time, track, cat string, id int64, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseAsyncBegin, Cat: cat, Name: name, Track: track, ID: id, Args: args})
+}
+
+// AsyncInstant records a milestone inside the open (cat, id) span.
+func (t *Tracer) AsyncInstant(at sim.Time, track, cat string, id int64, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseAsyncInstant, Cat: cat, Name: name, Track: track, ID: id, Args: args})
+}
+
+// AsyncEnd closes the open async span correlated by (cat, id).
+func (t *Tracer) AsyncEnd(at sim.Time, track, cat string, id int64, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Ph: PhaseAsyncEnd, Cat: cat, Name: name, Track: track, ID: id, Args: args})
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A nil tracer must be a total no-op: every emit method returns, the
+// accessors report empty, and both writers produce valid (empty) output.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Begin(1, "a", "x")
+	tr.End(2, "a", "x")
+	tr.Instant(3, "a", "y")
+	tr.Counter(4, "a", "c", Arg{"v", 1})
+	tr.AsyncBegin(5, "a", "req", 7, "r")
+	tr.AsyncInstant(6, "a", "req", 7, "m")
+	tr.AsyncEnd(7, "a", "req", 7, "r")
+	if tr.Enabled() || tr.Len() != 0 || tr.Events() != nil || tr.Tracks() != nil {
+		t.Fatalf("nil tracer not inert: len=%d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if issues := ValidateChromeTrace(buf.Bytes()); len(issues) != 0 {
+		t.Fatalf("empty trace invalid: %v", issues)
+	}
+	buf.Reset()
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil JSONL wrote %d bytes, err %v", buf.Len(), err)
+	}
+}
+
+func sample() *Tracer {
+	tr := New()
+	tr.AsyncBegin(0, "rep-0", "request", 1, "request", Arg{"in", 128})
+	tr.Begin(1000, "rep-0", "prefill", Arg{"reqs", 1})
+	tr.AsyncInstant(1500, "rep-0", "request", 1, "first-token", Arg{"ttft_ms", 1.5})
+	tr.End(2000, "rep-0", "prefill")
+	tr.Counter(2000, "fleet", "replicas", Arg{"ready", 2})
+	tr.Instant(2500, "router", "pick", Arg{"picked", "rep-1"}, Arg{"ok", true})
+	tr.AsyncEnd(3000, "rep-0", "request", 1, "request", Arg{"outcome", "finish"})
+	return tr
+}
+
+// Identical emission sequences must serialize byte-identically — the
+// property the determinism guard in the root package builds on.
+func TestWritersDeterministic(t *testing.T) {
+	var a, b, aj, bj bytes.Buffer
+	if err := sample().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome serialization not deterministic")
+	}
+	if err := sample().WriteJSONL(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().WriteJSONL(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+		t.Fatal("JSONL serialization not deterministic")
+	}
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if issues := ValidateChromeTrace(buf.Bytes()); len(issues) != 0 {
+		t.Fatalf("sample trace invalid: %v", issues)
+	}
+	// The document as a whole must be standard JSON, args included.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not standard JSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"thread_name"`) {
+		t.Fatal("missing track metadata")
+	}
+}
+
+func TestJSONLLinesParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != sample().Len() {
+		t.Fatalf("got %d lines, want %d", len(lines), sample().Len())
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d not valid JSON: %s", i, line)
+		}
+	}
+}
+
+func TestValidatorCatchesBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `[]`,
+		"bad ph":         `{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":1,"tid":1}]}`,
+		"missing tid":    `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1}]}`,
+		"unopened E":     `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"backwards ts":   `{"traceEvents":[{"name":"x","ph":"i","ts":5,"pid":1,"tid":1},{"name":"y","ph":"i","ts":1,"pid":1,"tid":1}]}`,
+		"unopened async": `{"traceEvents":[{"name":"x","cat":"r","ph":"e","id":1,"ts":1,"pid":1,"tid":1}]}`,
+		"E before B ts":  `{"traceEvents":[{"name":"x","ph":"B","ts":5,"pid":1,"tid":1},{"name":"x","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+	}
+	for name, doc := range cases {
+		if issues := ValidateChromeTrace([]byte(doc)); len(issues) == 0 {
+			t.Errorf("%s: validator found no issues", name)
+		}
+	}
+	// Unclosed spans at end-of-trace are tolerated (horizon cuts).
+	open := `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},{"name":"r","cat":"req","ph":"b","id":1,"ts":1,"pid":1,"tid":1}]}`
+	if issues := ValidateChromeTrace([]byte(open)); len(issues) != 0 {
+		t.Errorf("open spans at end flagged: %v", issues)
+	}
+}
+
+func TestTrackOrder(t *testing.T) {
+	tr := sample()
+	want := []string{"rep-0", "fleet", "router"}
+	got := tr.Tracks()
+	if len(got) != len(want) {
+		t.Fatalf("tracks %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tracks %v, want %v", got, want)
+		}
+	}
+}

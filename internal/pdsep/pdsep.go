@@ -102,6 +102,7 @@ func (e *Engine) admit() {
 			return
 		}
 		e.pPool.Pin(r.Pages, hitPages)
+		e.env.Admitted(r.ID)
 		e.pending = e.pending[1:]
 		e.queue = append(e.queue, &serve.Running{
 			R: r, CachedTokens: hit, PinnedPages: hitPages, ReservedTokens: need,

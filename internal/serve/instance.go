@@ -41,11 +41,15 @@ func NewInstance(s *sim.Sim, f Factory, cfg Config, label string) *Instance {
 		Rec:         rec,
 		ReserveFrac: cfg.ReserveFrac,
 		MaxBatch:    cfg.MaxBatch,
+		Trace:       cfg.Trace,
+		Label:       label,
 	}
 	inst := &Instance{Label: label, Env: env, Eng: f(env), Rec: rec}
 	if label == "" {
 		inst.Label = inst.Eng.Name()
+		env.Label = inst.Label
 	}
+	rec.SetTrace(cfg.Trace, inst.Label)
 	return inst
 }
 

@@ -4,6 +4,7 @@ import (
 	"muxwise/internal/gpu"
 	"muxwise/internal/metrics"
 	"muxwise/internal/model"
+	"muxwise/internal/obs"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
 )
@@ -23,6 +24,11 @@ type Config struct {
 	// 30 simulated minutes). Runs hitting the horizon with unfinished
 	// requests are summarised as unstable.
 	Horizon sim.Time
+
+	// Trace, when non-nil, records the run's flight-recorder events.
+	// Tracing is purely observational: results are byte-identical with
+	// it on or off.
+	Trace *obs.Tracer
 }
 
 // WithDefaults resolves zero-valued knobs to their documented defaults.
@@ -46,6 +52,12 @@ type Result struct {
 	Devices  []gpu.Stats
 	CacheHit float64
 	Rec      *metrics.Recorder
+
+	// Diagnostics attributes every SLO miss to a cause (set by Run;
+	// zero on bare Instance snapshots).
+	Diagnostics metrics.MissBreakdown
+	// Loop snapshots the event loop's perf counters for the run.
+	Loop sim.LoopStats
 }
 
 // Run replays the trace against a fresh engine built by factory and
@@ -71,6 +83,8 @@ func Run(factory Factory, cfg Config, trace *workload.Trace) Result {
 
 	res := inst.Result(s.Now())
 	ApplyBacklog(&res.Summary, backlog)
+	res.Diagnostics = inst.Rec.Diagnose(cfg.SLO, metrics.DiagnoseAux{})
+	res.Loop = s.Stats()
 	return res
 }
 

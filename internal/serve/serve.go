@@ -9,6 +9,7 @@ import (
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
 	"muxwise/internal/model"
+	"muxwise/internal/obs"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
 )
@@ -28,7 +29,21 @@ type Env struct {
 
 	// MaxBatch caps the decode batch size (SGLang default-style).
 	MaxBatch int
+
+	// Trace is the flight recorder, nil when tracing is off. Engines
+	// emitting their own spans (scheduler phases, partition counters)
+	// read it directly; request lifecycle events flow through Rec.
+	Trace *obs.Tracer
+
+	// Label names the instance's trace track (set by NewInstance).
+	Label string
 }
+
+// Admitted records on the metrics recorder that the engine just
+// accepted request id out of its arrival queue — every engine calls
+// this at its serve.Admit (or equivalent) success path so SLO misses
+// can be split into queue-wait vs prefill time.
+func (e *Env) Admitted(id int) { e.Rec.Admitted(id, e.Sim.Now()) }
 
 // PoolTokens returns the KV pool capacity for an instance spanning gpus
 // devices, given the env's model and reserve fraction.

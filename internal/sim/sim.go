@@ -107,11 +107,33 @@ func (h *eventHeap) Pop() any {
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
 type Sim struct {
-	now     Time
-	events  eventHeap
-	seq     int64
-	stopped bool
-	fired   int64
+	now        Time
+	events     eventHeap
+	seq        int64
+	stopped    bool
+	fired      int64
+	canceled   int64
+	maxPending int
+}
+
+// LoopStats snapshots the event loop's lifetime counters — the raw
+// material for events/sec and ns/event perf tracking. Every schedule
+// and cancel is a heap operation, so Scheduled+Canceled+Fired bounds
+// the loop's heap work.
+type LoopStats struct {
+	// Fired counts events dispatched.
+	Fired int64 `json:"fired"`
+	// Scheduled counts events ever pushed (fired or not).
+	Scheduled int64 `json:"scheduled"`
+	// Canceled counts events removed before firing.
+	Canceled int64 `json:"canceled"`
+	// MaxPending is the high-water mark of the event heap.
+	MaxPending int `json:"max_pending"`
+}
+
+// Stats returns the loop's counters so far.
+func (s *Sim) Stats() LoopStats {
+	return LoopStats{Fired: s.fired, Scheduled: s.seq, Canceled: s.canceled, MaxPending: s.maxPending}
 }
 
 // New returns a fresh simulator positioned at time zero.
@@ -135,6 +157,9 @@ func (s *Sim) At(t Time, fn func()) *Event {
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, e)
+	if len(s.events) > s.maxPending {
+		s.maxPending = len(s.events)
+	}
 	return e
 }
 
@@ -155,6 +180,7 @@ func (s *Sim) Cancel(e *Event) {
 	}
 	heap.Remove(&s.events, e.index)
 	e.index = -1
+	s.canceled++
 }
 
 // Stop makes the current Run invocation return after the in-flight event

@@ -273,3 +273,30 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+// Stats must count every schedule, cancel and dispatch, and track the
+// heap's high-water mark.
+func TestLoopStats(t *testing.T) {
+	s := New()
+	var fired int
+	e1 := s.At(10, func() { fired++ })
+	s.At(20, func() { fired++ })
+	s.At(30, func() { fired++ })
+	if st := s.Stats(); st.Scheduled != 3 || st.MaxPending != 3 || st.Fired != 0 {
+		t.Fatalf("pre-run stats %+v", st)
+	}
+	s.Cancel(e1)
+	s.Run()
+	st := s.Stats()
+	if st.Fired != 2 || int(st.Fired) != fired {
+		t.Fatalf("fired %d (callbacks %d), want 2", st.Fired, fired)
+	}
+	if st.Canceled != 1 || st.Scheduled != 3 || st.MaxPending != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Cancelling an already-fired event must not count.
+	s.Cancel(e1)
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("double cancel counted: %+v", st)
+	}
+}

@@ -81,6 +81,7 @@ func (e *Engine) admit() {
 		if run == nil {
 			return
 		}
+		e.env.Admitted(run.R.ID)
 		e.pending = e.pending[1:]
 		newTok := run.R.InputTokens - run.CachedTokens
 		if newTok < 1 {

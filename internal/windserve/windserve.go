@@ -74,6 +74,7 @@ func (e *Engine) admit() {
 		if run == nil {
 			return
 		}
+		e.env.Admitted(run.R.ID)
 		e.pending = e.pending[1:]
 		e.queue = append(e.queue, run)
 	}

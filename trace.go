@@ -1,0 +1,51 @@
+package muxwise
+
+import (
+	"io"
+
+	"muxwise/internal/metrics"
+	"muxwise/internal/obs"
+)
+
+// FlightRecorder is a deterministic, append-only trace of everything a
+// run did: per-request lifecycle spans (arrival, queueing, prefill
+// chunks, first token, decode iterations, finish or abort), KV-migration
+// stream spans with byte counts and link class, fleet lifecycle events
+// (spawn/ready/drain/fail), autoscaler decisions with the signal that
+// triggered them, and per-candidate router pick records.
+//
+// Recording is purely observational: attaching a recorder never
+// schedules an event or perturbs the simulation, so a run's Summary and
+// FrontierReport are byte-identical with tracing on or off. A nil
+// *FlightRecorder is valid everywhere and records nothing at zero cost.
+//
+// Export the buffer with WriteChromeTrace (load the file in Perfetto or
+// chrome://tracing) or WriteJSONL (one event per line for ad-hoc
+// analysis).
+type FlightRecorder = obs.Tracer
+
+// NewFlightRecorder returns an empty flight recorder ready to be
+// attached to an Experiment with WithTrace.
+func NewFlightRecorder() *FlightRecorder { return obs.New() }
+
+// WithTrace attaches a flight recorder to the experiment. Only Run
+// records into it; Sweep and Goodput probe many configurations
+// concurrently and always run untraced. Passing nil is a no-op.
+func WithTrace(fr *FlightRecorder) Option {
+	return func(e *Experiment) { e.trace = fr }
+}
+
+// MissBreakdown attributes every SLO miss of a run to a cause. It is
+// returned as Report.MissCauses and per frontier cell.
+type MissBreakdown = metrics.MissBreakdown
+
+// WriteChromeTrace writes fr as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, fr *FlightRecorder) error {
+	return fr.WriteChromeTrace(w)
+}
+
+// WriteTraceJSONL writes fr as compact JSONL, one event per line.
+func WriteTraceJSONL(w io.Writer, fr *FlightRecorder) error {
+	return fr.WriteJSONL(w)
+}
