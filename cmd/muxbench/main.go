@@ -16,7 +16,10 @@
 //	muxbench -simcore -simcore-write BENCH_simcore.json
 //	                               # ...regenerate the committed baseline
 //	muxbench -simcore -simcore-check BENCH_simcore.json
-//	                               # ...fail on >20% allocs/request regression
+//	                               # ...fail on regression against the baseline
+//	muxbench -replay               # 100-replica / 1M-request stress replay
+//	muxbench -replay -replay-replicas 10 -replay-requests 100000
+//	                               # ...reduced scale
 package main
 
 import (
@@ -51,8 +54,21 @@ func main() {
 		"run the committed hot-path benchmarks (core engine, fleet tick, router pick) and print a markdown digest")
 	simcoreWrite := flag.String("simcore-write", "", "with -simcore: (re)write the BENCH_simcore.json baseline here")
 	simcoreCheck := flag.String("simcore-check", "",
-		"with -simcore: fail if allocs/request regressed >20% against this baseline")
+		"with -simcore: fail if allocs/request or ns/request regressed against this baseline")
+	replay := flag.Bool("replay", false,
+		"run the stress replay: many independent replicas shard-parallel over reused per-worker arenas")
+	replayReplicas := flag.Int("replay-replicas", 100, "with -replay: replica count")
+	replayRequests := flag.Int("replay-requests", 1_000_000, "with -replay: total requests across all replicas")
+	replayRate := flag.Float64("replay-rate", 8, "with -replay: per-replica arrival rate (req/s)")
 	flag.Parse()
+
+	if *replay {
+		if err := runReplay(os.Stdout, *replayReplicas, *replayRequests, *replayRate); err != nil {
+			fmt.Fprintln(os.Stderr, "muxbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *simcore || *simcoreWrite != "" || *simcoreCheck != "" {
 		if err := runSimcore(*simcoreWrite, *simcoreCheck); err != nil {

@@ -15,16 +15,24 @@ import (
 // meaning so a stale baseline fails loudly.
 const benchSchema = "muxwise/bench/v1"
 
-// allocRegressionLimit is the gate: -simcore-check fails when any
-// benchmark's allocs/request grows more than this fraction over the
+// allocRegressionLimit is the primary gate: -simcore-check fails when
+// any benchmark's allocs/request grows more than this fraction over the
 // committed baseline. Allocation counts are machine-independent (unlike
 // ns/op), so the gate is tight and portable.
 const allocRegressionLimit = 0.20
 
-// benchRecord is one hot-path benchmark's committed result. Timing
-// fields (ns/op, events/s, ns/request) describe the machine that wrote
-// the file and are informational; the regression gate compares only
-// allocs/request.
+// nsRegressionLimit gates ns/request, the wall-clock cost of one
+// simulated request. Timing is machine-dependent, so the limit is
+// looser than the alloc gate: it exists to catch order-of-magnitude
+// hot-path regressions (a reintroduced per-event allocation, an
+// accidental O(n) scan), not CI-runner jitter.
+const nsRegressionLimit = 0.25
+
+// benchRecord is one hot-path benchmark's committed result. The
+// regression gate compares allocs/request (tight, machine-independent)
+// and ns/request (loose — timing describes the machine that wrote the
+// file, so its limit only catches order-of-magnitude regressions);
+// ns/op and events/s are informational.
 type benchRecord struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
@@ -120,13 +128,19 @@ func checkBench(got benchFile, baselinePath string) error {
 				g.Name, g.AllocsPerReq, w.AllocsPerReq,
 				(g.AllocsPerReq/w.AllocsPerReq-1)*100, allocRegressionLimit*100))
 		}
+		if w.NsPerRequest > 0 && g.NsPerRequest > w.NsPerRequest*(1+nsRegressionLimit) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/request %.0f vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+				g.Name, g.NsPerRequest, w.NsPerRequest,
+				(g.NsPerRequest/w.NsPerRequest-1)*100, nsRegressionLimit*100))
+		}
 	}
 	if len(got.Benchmarks) < len(base.Benchmarks) {
 		failures = append(failures, fmt.Sprintf("suite ran %d benchmarks, baseline has %d", len(got.Benchmarks), len(base.Benchmarks)))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
-			fmt.Fprintln(os.Stderr, "muxbench: ALLOC REGRESSION:", f)
+			fmt.Fprintln(os.Stderr, "muxbench: REGRESSION:", f)
 		}
 		return fmt.Errorf("%d benchmark(s) regressed", len(failures))
 	}
@@ -161,7 +175,8 @@ func runSimcore(writePath, checkPath string) error {
 		if err := checkBench(bf, checkPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "muxbench: allocs/request within +%.0f%% of %s\n", allocRegressionLimit*100, checkPath)
+		fmt.Fprintf(os.Stderr, "muxbench: allocs/request within +%.0f%%, ns/request within +%.0f%% of %s\n",
+			allocRegressionLimit*100, nsRegressionLimit*100, checkPath)
 	}
 	return nil
 }

@@ -38,6 +38,13 @@ type Engine struct {
 	queue   []*serve.Running // prefill in FIFO order, head is chunking
 	pending []*workload.Request
 	running bool
+
+	// inFlight is the chunk progress of the iteration on the device (one
+	// at a time, guarded by running); the rest is reused scratch.
+	inFlight   []progress
+	seqScratch []model.Seq
+	ctxScratch []int
+	finScratch []*serve.Running
 }
 
 // BudgetFor returns the paper's offline-tuned token budget for a TBT SLO:
@@ -138,8 +145,8 @@ func (e *Engine) step() {
 
 	// Assemble the chunk: requests from the queue head, possibly several
 	// if the head finishes its prefill inside the budget.
-	var chunkSeqs []model.Seq
-	var progressed []progress
+	chunkSeqs := e.seqScratch[:0]
+	progressed := e.inFlight[:0]
 	for _, run := range e.queue {
 		if chunkBudget <= 0 {
 			break
@@ -157,14 +164,16 @@ func (e *Engine) step() {
 		progressed = append(progressed, progress{run, take})
 		chunkBudget -= take
 	}
+	e.seqScratch, e.inFlight = chunkSeqs, progressed
 
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
 	var cost model.Cost
 	if len(chunkSeqs) == 1 {
-		cost = e.env.Arch.FusedChunkIter(chunkSeqs[0], e.decode.Ctxs(), e.env.GPUs)
+		cost = e.env.Arch.FusedChunkIter(chunkSeqs[0], e.ctxScratch, e.env.GPUs)
 	} else {
 		// Multiple chunk slices: accumulate each without re-paying
 		// weights (the iteration streams them once).
-		cost = e.env.Arch.FusedChunkIter(model.Seq{}, e.decode.Ctxs(), e.env.GPUs)
+		cost = e.env.Arch.FusedChunkIter(model.Seq{}, e.ctxScratch, e.env.GPUs)
 		for _, sq := range chunkSeqs {
 			layer := e.env.Arch.PrefillLayer([]model.Seq{sq}, e.env.GPUs, false)
 			part := layer.Scale(float64(e.env.Arch.Layers))
@@ -194,11 +203,19 @@ func (e *Engine) step() {
 		cost, mfu = e.Transform(cost, chunkTokens)
 	}
 	e.running = true
-	e.part.Launch(gpu.Kernel{
+	e.part.LaunchFn(gpu.Kernel{
 		Label: "fused-iter", Kind: kind,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch, MFU: mfu,
-	}, func() { e.onIterDone(progressed) })
+	}, iterDone, e)
+}
+
+// iterDone is the engine's bound completion callback: the engine rides
+// as the event argument and reads the in-flight chunk progress from its
+// own scratch, so steady-state iterations allocate no closures.
+func iterDone(arg any) {
+	e := arg.(*Engine)
+	e.onIterDone(e.inFlight)
 }
 
 // progress records how many chunk tokens an iteration advanced a request.
@@ -214,8 +231,8 @@ func (e *Engine) onIterDone(chunks []progress) {
 	now := e.env.Sim.Now()
 	e.running = false
 
-	finished := e.decode.Step(now, e.env.Rec)
-	for _, r := range finished {
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	for _, r := range e.finScratch {
 		r.Complete(e.pool)
 	}
 

@@ -285,6 +285,9 @@ type Cluster struct {
 	// routableBuf is the scratch slice Routable rebuilds per arrival.
 	routableBuf []*Replica
 
+	// ttftScratch pools per-tick TTFT samples across replicas (TTFTTail).
+	ttftScratch []float64
+
 	log   []LogEntry
 	marks []epochMark
 
@@ -737,11 +740,11 @@ func (c *Cluster) Unfinished() int {
 // fleet and summarises them — the sliding-window tail signal the
 // TTFT-target autoscaler watches.
 func (c *Cluster) TTFTTail(from sim.Time) metrics.Quantiles {
-	var samples []float64
+	c.ttftScratch = c.ttftScratch[:0]
 	for _, rep := range c.Replicas {
-		samples = append(samples, rep.Inst.Rec.TTFTSamplesSince(from)...)
+		c.ttftScratch = rep.Inst.Rec.AppendTTFTSince(c.ttftScratch, from)
 	}
-	return metrics.QuantilesOf(samples)
+	return metrics.QuantilesInPlace(c.ttftScratch)
 }
 
 // Snapshot assembles the trailing-window metrics view routers and
@@ -933,9 +936,11 @@ func Run(cfg Config, trace *workload.Trace) (Result, error) {
 	if cfg.Fleet != nil {
 		attachFleet(c, *cfg.Fleet, lastArrival)
 	}
+	// One shared submit callback; each arrival rides as the event
+	// argument (no per-request closure).
+	submit := func(arg any) { c.Submit(arg.(*workload.Request)) }
 	for _, r := range trace.Requests {
-		r := r
-		s.At(r.Arrival, func() { c.Submit(r) })
+		s.AtFunc(r.Arrival, submit, r)
 	}
 	// Fleet-level stability probe, mirroring serve.Run.
 	backlog := 0

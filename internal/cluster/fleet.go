@@ -301,7 +301,7 @@ func attachFleet(c *Cluster, cfg FleetConfig, lastArrival sim.Time) *FleetContro
 		c.Sim.At(ev.At, func() { fc.apply(ev) })
 	}
 	if fc.cfg.Scaler != nil {
-		c.Sim.At(fc.cfg.Cadence, fc.tick)
+		c.Sim.AtFunc(fc.cfg.Cadence, fleetTick, fc)
 	}
 	return fc
 }
@@ -409,6 +409,10 @@ func (fc *FleetController) tick() {
 		size--
 	}
 	if c.Sim.Now() < fc.lastArrival || c.Unfinished() > 0 {
-		c.Sim.After(fc.cfg.Cadence, fc.tick)
+		c.Sim.AfterFunc(fc.cfg.Cadence, fleetTick, fc)
 	}
 }
+
+// fleetTick is the bound re-arm callback: the controller rides as the
+// event argument, so a run's thousands of ticks share zero closures.
+func fleetTick(arg any) { arg.(*FleetController).tick() }

@@ -58,8 +58,11 @@ func DefaultOptions() Options {
 // batch, mirroring SGLang's max prefill budget.
 const maxPrefillBatchTokens = 16384
 
-// prefillJob is one prefill batch progressing layer by layer.
+// prefillJob is one prefill batch progressing layer by layer. It carries
+// its engine so per-layer completion callbacks can be scheduled through
+// the closure-free gpu.LaunchFn with the job itself as the argument.
 type prefillJob struct {
+	eng  *Engine
 	reqs []*serve.Running
 	seqs []model.Seq
 
@@ -112,6 +115,11 @@ type Engine struct {
 	configs     []int
 	curConfig   int
 	preemptions int
+
+	// Per-iteration scratch, reused so the decode hot loop does not
+	// allocate.
+	ctxScratch []int
+	finScratch []*serve.Running
 
 	// prefillSpan tracks whether a flight-recorder span is open for the
 	// active prefill job (invariant while tracing: open ⇔ active != nil).
@@ -240,6 +248,7 @@ func (e *Engine) enqueue(run *serve.Running) {
 		}
 	}
 	job := &prefillJob{
+		eng:     e,
 		reqs:    []*serve.Running{run},
 		seqs:    []model.Seq{seq},
 		arrival: e.env.Sim.Now(),
@@ -385,8 +394,8 @@ func (e *Engine) startDecode() {
 	}
 	e.reconfigure(e.chooseConfig())
 
-	ctxs := e.decode.Ctxs()
-	cost := e.env.Arch.DecodeIter(ctxs, e.env.GPUs)
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
+	cost := e.env.Arch.DecodeIter(e.ctxScratch, e.env.GPUs)
 	e.decodeRunning = true
 	e.decodeIterStart = e.env.Sim.Now()
 	if e.env.Trace != nil {
@@ -395,12 +404,15 @@ func (e *Engine) startDecode() {
 			traceArg("sms", e.curConfig))
 	}
 	e.decodeSolo = e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), e.curConfig)
-	e.decodeP.Launch(gpu.Kernel{
+	e.decodeP.LaunchFn(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
-	}, e.onDecodeDone)
+	}, decodeDone, e)
 }
+
+// decodeDone is the bound completion callback for decode iterations.
+func decodeDone(arg any) { arg.(*Engine).onDecodeDone() }
 
 // onDecodeDone ends one decode iteration: emit tokens, refine the guard,
 // merge finished prefills (query sync), and continue.
@@ -420,7 +432,8 @@ func (e *Engine) onDecodeDone() {
 			e.decode.Size(), e.decode.TotalCtx(), e.curConfig, slow)
 	}
 
-	finished := e.decode.Step(now, e.env.Rec)
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	finished := e.finScratch
 	for _, r := range finished {
 		r.Complete(e.pool)
 	}
@@ -510,11 +523,17 @@ func (e *Engine) pumpPrefill() {
 func (e *Engine) launchLayer(j *prefillJob) {
 	cost := e.env.Arch.PrefillLayer(j.seqs, e.env.GPUs, true)
 	j.layersInAir++
-	e.prefillP.Launch(gpu.Kernel{
+	e.prefillP.LaunchFn(gpu.Kernel{
 		Label: "prefill-layer", Kind: gpu.Prefill,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.LayerLaunch,
-	}, func() { e.onLayerDone(j) })
+	}, layerDone, j)
+}
+
+// layerDone is the bound completion callback for prefill layer kernels.
+func layerDone(arg any) {
+	j := arg.(*prefillJob)
+	j.eng.onLayerDone(j)
 }
 
 // launchWholePhase issues a single monolithic prefill kernel (the
@@ -526,16 +545,21 @@ func (e *Engine) launchWholePhase(j *prefillJob) {
 	}
 	phase := e.env.Arch.PrefillPhase(j.seqs, e.env.GPUs)
 	j.layersInAir = e.env.Arch.Layers
-	e.prefillP.Launch(gpu.Kernel{
+	e.prefillP.LaunchFn(gpu.Kernel{
 		Label: "prefill-phase", Kind: gpu.Prefill,
 		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
 		Tokens: phase.Tokens,
 		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
-	}, func() {
-		j.layersInAir = 0
-		j.layersDone = e.env.Arch.Layers
-		e.finishPrefill(j)
-	})
+	}, wholePhaseDone, j)
+}
+
+// wholePhaseDone is the bound completion callback for monolithic prefill
+// phases (the non-layer-wise ablation).
+func wholePhaseDone(arg any) {
+	j := arg.(*prefillJob)
+	j.layersInAir = 0
+	j.layersDone = j.eng.env.Arch.Layers
+	j.eng.finishPrefill(j)
 }
 
 // onLayerDone advances a job by one layer.

@@ -13,16 +13,59 @@ import (
 // initialised by coarse offline co-run profiling (powers-of-4 token grid,
 // 16-SM partition granularity — §3.3.2) and refined online with the max
 // of observed slowdowns.
+//
+// The grid is a dense flat array indexed by the bucketed cell
+// coordinates: Factor sits on every decode-estimate path, so lookups and
+// the unprofiled-cell fallback (the per-config maximum, kept
+// incrementally) must not scan or hash.
 type Guard struct {
-	factors map[guardKey]float64
+	// flat holds the cell maxima at
+	// (((pNew*4+pReused)*9+dBS)*4+dCtx)*len(configs)+configIdx;
+	// zero means unprofiled. Token dimensions are bucketed by log₄ from
+	// 2K to 128K; batch size by log₂.
+	flat []float64
+	// cfgMax[ci] is the fallback for unprofiled cells of config ci:
+	// the maximum stored factor for that config, floored at floor.
+	cfgMax  []float64
+	cells   int // nonzero entries in flat
 	configs []int
 	floor   float64 // minimum factor returned (sync/merge margin)
 }
 
-// guardKey is one grid cell. Token dimensions are bucketed by log₄ from
-// 2K to 128K; batch size by log₂.
-type guardKey struct {
-	pNew, pReused, dBS, dCtx, config int
+// Guard grid dimensions: 4 log₄ token buckets (2K..128K) for prefill-new,
+// prefill-reused and decode-context, 9 log₂ batch-size buckets.
+const (
+	guardTokBuckets = 4
+	guardBSBuckets  = 9
+)
+
+// idx flattens bucketed cell coordinates; ci is an index into g.configs.
+func (g *Guard) idx(pNew, pReused, dBS, dCtx, ci int) int {
+	return (((pNew*guardTokBuckets+pReused)*guardBSBuckets+dBS)*guardTokBuckets+dCtx)*len(g.configs) + ci
+}
+
+// store raises the cell's maximum (and its config's fallback).
+func (g *Guard) store(i, ci int, factor float64) {
+	if factor <= g.flat[i] {
+		return
+	}
+	if g.flat[i] == 0 {
+		g.cells++
+	}
+	g.flat[i] = factor
+	if factor > g.cfgMax[ci] {
+		g.cfgMax[ci] = factor
+	}
+}
+
+// newGuard returns an empty grid over the given partition configs.
+func newGuard(configs []int, floor float64) *Guard {
+	n := guardTokBuckets * guardTokBuckets * guardBSBuckets * guardTokBuckets * len(configs)
+	g := &Guard{flat: make([]float64, n), cfgMax: make([]float64, len(configs)), configs: configs, floor: floor}
+	for i := range g.cfgMax {
+		g.cfgMax[i] = floor
+	}
+	return g
 }
 
 // tokenBucket maps a token count to its powers-of-4 bucket index.
@@ -62,8 +105,8 @@ var bucketBS = []int{1, 4, 16, 64, 192}
 // a decode iteration with a stream of prefill layers on the complementary
 // partition of a fresh simulated device.
 func profileGuard(spec gpu.Spec, tp int, arch model.Arch, est *Estimator) *Guard {
-	g := &Guard{factors: map[guardKey]float64{}, configs: spec.PartitionSizes(), floor: 1.0}
-	for _, decSM := range g.configs {
+	g := newGuard(spec.PartitionSizes(), 1.0)
+	for ci, decSM := range g.configs {
 		preSM := spec.SMs - decSM
 		for pi, pNew := range bucketTokens {
 			for pj, pReused := range bucketTokens {
@@ -78,10 +121,7 @@ func profileGuard(spec gpu.Spec, tp int, arch model.Arch, est *Estimator) *Guard
 						if factor < 1 {
 							factor = 1
 						}
-						key := guardKey{pi, pj, bsBucket(bs), dj, decSM}
-						if factor > g.factors[key] {
-							g.factors[key] = factor
-						}
+						g.store(g.idx(pi, pj, bsBucket(bs), dj, ci), ci, factor)
 					}
 				}
 			}
@@ -130,22 +170,14 @@ func (g *Guard) Factor(prefillNew, prefillReused, bs, totalCtx, decSM int) float
 	if bs > 0 {
 		perReq = totalCtx / bs
 	}
-	key := guardKey{
-		tokenBucket(prefillNew), tokenBucket(prefillReused),
-		bsBucket(bs), tokenBucket(perReq), g.snap(decSM),
-	}
-	if f, ok := g.factors[key]; ok && f > g.floor {
+	ci := g.snapIdx(decSM)
+	f := g.flat[g.idx(tokenBucket(prefillNew), tokenBucket(prefillReused), bsBucket(bs), tokenBucket(perReq), ci)]
+	if f > g.floor {
 		return f
 	}
 	// Unprofiled cell: be conservative with the maximum across the
 	// config (still bounded, per the paper's ≤20–30% observation).
-	max := g.floor
-	for k, f := range g.factors {
-		if k.config == key.config && f > max {
-			max = f
-		}
-	}
-	return max
+	return g.cfgMax[ci]
 }
 
 // Observe refines the guard with a runtime slowdown measurement
@@ -158,35 +190,36 @@ func (g *Guard) Observe(prefillNew, prefillReused, bs, totalCtx, decSM int, slow
 	if bs > 0 {
 		perReq = totalCtx / bs
 	}
-	key := guardKey{
-		tokenBucket(prefillNew), tokenBucket(prefillReused),
-		bsBucket(bs), tokenBucket(perReq), g.snap(decSM),
-	}
-	if slowdown > g.factors[key] {
-		g.factors[key] = slowdown
-	}
+	ci := g.snapIdx(decSM)
+	g.store(g.idx(tokenBucket(prefillNew), tokenBucket(prefillReused), bsBucket(bs), tokenBucket(perReq), ci), ci, slowdown)
 }
 
 // clone returns an independent copy of the guard for per-run online
 // refinement.
 func (g *Guard) clone() *Guard {
-	f := make(map[guardKey]float64, len(g.factors))
-	for k, v := range g.factors {
-		f[k] = v
+	c := &Guard{
+		flat:    make([]float64, len(g.flat)),
+		cfgMax:  make([]float64, len(g.cfgMax)),
+		cells:   g.cells,
+		configs: g.configs,
+		floor:   g.floor,
 	}
-	return &Guard{factors: f, configs: g.configs, floor: g.floor}
+	copy(c.flat, g.flat)
+	copy(c.cfgMax, g.cfgMax)
+	return c
 }
 
-// snap maps an SM count to the nearest profiled configuration.
-func (g *Guard) snap(sms int) int {
+// snapIdx maps an SM count to the index of the nearest profiled
+// configuration.
+func (g *Guard) snapIdx(sms int) int {
 	best, bestDiff := 0, math.MaxInt
-	for _, c := range g.configs {
+	for i, c := range g.configs {
 		d := c - sms
 		if d < 0 {
 			d = -d
 		}
 		if d < bestDiff {
-			best, bestDiff = c, d
+			best, bestDiff = i, d
 		}
 	}
 	return best
@@ -196,7 +229,7 @@ func (g *Guard) snap(sms int) int {
 // ≤1.2 on A100 and ≤1.3 on H100).
 func (g *Guard) MaxFactor() float64 {
 	max := 1.0
-	for _, f := range g.factors {
+	for _, f := range g.cfgMax {
 		if f > max {
 			max = f
 		}
@@ -205,4 +238,4 @@ func (g *Guard) MaxFactor() float64 {
 }
 
 // Cells returns the number of profiled grid cells.
-func (g *Guard) Cells() int { return len(g.factors) }
+func (g *Guard) Cells() int { return g.cells }

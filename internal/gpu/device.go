@@ -3,7 +3,6 @@ package gpu
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"muxwise/internal/sim"
 )
@@ -66,8 +65,19 @@ type Device struct {
 	hostFreeAt sim.Time
 	partitions []*Partition
 	running    []*run
-	next       *sim.Event
+	next       sim.Handle
 	lastAt     sim.Time
+
+	// Pool and scratch buffers: reallocate runs on every kernel start and
+	// every sub-stream completion, so its working set is reused rather
+	// than reallocated.
+	runFree  []*run
+	occ      []float64
+	order    []int
+	caps     []float64
+	alloc    []float64
+	unsat    []int
+	finished []*run
 
 	// Accounting integrals (seconds-weighted).
 	smInt      float64 // ∫ Σ smFraction dt
@@ -115,7 +125,8 @@ type Partition struct {
 	sms   int
 	label string
 
-	queue   []*run
+	queue   []*run // FIFO; the live window is queue[qhead:]
+	qhead   int
 	current *run
 
 	busy      float64 // seconds the stream had a kernel executing
@@ -136,7 +147,7 @@ func (p *Partition) Reconfigs() int { return p.reconfigs }
 
 // QueueLen returns the number of kernels launched but not yet completed.
 func (p *Partition) QueueLen() int {
-	n := len(p.queue)
+	n := len(p.queue) - p.qhead
 	if p.current != nil {
 		n++
 	}
@@ -144,7 +155,7 @@ func (p *Partition) QueueLen() int {
 }
 
 // Idle reports whether nothing is queued or executing.
-func (p *Partition) Idle() bool { return p.current == nil && len(p.queue) == 0 }
+func (p *Partition) Idle() bool { return p.current == nil && p.qhead == len(p.queue) }
 
 // SetSMs resizes the partition (a green-context reconfiguration). The new
 // size applies to kernels that begin executing afterwards; the resize
@@ -170,7 +181,9 @@ func (p *Partition) SetSMs(sms int) {
 type run struct {
 	part *Partition
 	k    Kernel
-	done func()
+	done func()    // closure completion callback
+	dfn  func(any) // closure-free completion callback: dfn(darg)
+	darg any
 
 	ready   bool // host launch finished
 	readyAt sim.Time
@@ -188,6 +201,23 @@ type run struct {
 // simulated completion time. The host launch overhead serializes with all
 // other launches on the device.
 func (p *Partition) Launch(k Kernel, done func()) {
+	r := p.submit(k)
+	r.done = done
+}
+
+// LaunchFn is the closure-free Launch: done(arg) runs at the simulated
+// completion time. Engines bind done once (a package function or a field
+// set at construction) and pass per-kernel state through arg, so a launch
+// allocates nothing on the steady-state path.
+func (p *Partition) LaunchFn(k Kernel, done func(any), arg any) {
+	r := p.submit(k)
+	r.dfn = done
+	r.darg = arg
+}
+
+// submit queues a pooled run for k and schedules its host-launch-ready
+// event.
+func (p *Partition) submit(k Kernel) *run {
 	d := p.dev
 	now := d.sim.Now()
 	if d.hostFreeAt < now {
@@ -197,22 +227,58 @@ func (p *Partition) Launch(k Kernel, done func()) {
 	d.hostFreeAt = start + k.Launch
 	d.launchInt += sim.Time(k.Launch).Seconds()
 
-	r := &run{part: p, k: k, done: done, readyAt: d.hostFreeAt}
+	r := d.allocRun()
+	r.part = p
+	r.k = k
+	r.readyAt = d.hostFreeAt
+	if p.qhead > 0 && p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
 	p.queue = append(p.queue, r)
-	d.sim.At(r.readyAt, func() {
-		r.ready = true
-		p.tryStart()
-	})
+	d.sim.AtFunc(r.readyAt, runReady, r)
+	return r
+}
+
+// runReady is the bound callback for a run's host-launch completion.
+func runReady(arg any) {
+	r := arg.(*run)
+	r.ready = true
+	r.part.tryStart()
+}
+
+// allocRun takes a run off the device's free list, or makes one.
+func (d *Device) allocRun() *run {
+	if n := len(d.runFree); n > 0 {
+		r := d.runFree[n-1]
+		d.runFree[n-1] = nil
+		d.runFree = d.runFree[:n-1]
+		return r
+	}
+	return &run{}
+}
+
+// releaseRun recycles a retired run. Callers must ensure nothing still
+// references it: it has left the queue, d.running, and its ready event
+// has fired.
+func (d *Device) releaseRun(r *run) {
+	*r = run{}
+	d.runFree = append(d.runFree, r)
 }
 
 // tryStart begins executing the queue head if the stream is idle and the
 // head's host launch has completed.
 func (p *Partition) tryStart() {
-	if p.current != nil || len(p.queue) == 0 || !p.queue[0].ready {
+	if p.current != nil || p.qhead == len(p.queue) || !p.queue[p.qhead].ready {
 		return
 	}
-	r := p.queue[0]
-	p.queue = p.queue[1:]
+	r := p.queue[p.qhead]
+	p.queue[p.qhead] = nil
+	p.qhead++
+	if p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
 	p.current = r
 	p.dev.startRun(r)
 }
@@ -282,10 +348,8 @@ func (d *Device) efficiency(k Kernel, frac float64) float64 {
 // reallocate recomputes every running kernel's rates (water-filling the
 // bandwidth) and schedules the next sub-stream completion event.
 func (d *Device) reallocate() {
-	if d.next != nil {
-		d.sim.Cancel(d.next)
-		d.next = nil
-	}
+	d.sim.Cancel(d.next)
+	d.next = sim.Handle{}
 	if len(d.running) == 0 {
 		return
 	}
@@ -297,14 +361,24 @@ func (d *Device) reallocate() {
 	// keep their SMs and later arrivals squeeze into what remains, with
 	// a small floor for the blocks that do sneak in.
 	const occupancyFloor = 0.02
-	occ := make([]float64, len(d.running))
-	order := make([]int, len(d.running))
+	n := len(d.running)
+	occ := growFloats(&d.occ, n)
+	order := growInts(&d.order, n)
 	for i := range d.running {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return d.running[order[a]].startSeq < d.running[order[b]].startSeq
-	})
+	// Insertion sort on startSeq: a handful of streams at most, and no
+	// reflect.Swapper allocation per call.
+	for i := 1; i < n; i++ {
+		v := order[i]
+		seq := d.running[v].startSeq
+		j := i
+		for j > 0 && d.running[order[j-1]].startSeq > seq {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = v
+	}
 	remaining := 1.0
 	for _, i := range order {
 		r := d.running[i]
@@ -321,15 +395,17 @@ func (d *Device) reallocate() {
 
 	// Bandwidth demands, capped by each kernel's SM-limited absorption.
 	bw := d.TotalBandwidth()
-	caps := make([]float64, len(d.running))
+	caps := growFloats(&d.caps, n)
 	for i, r := range d.running {
 		if r.remB <= 0 {
+			caps[i] = 0
 			continue
 		}
 		c := occ[i] / d.Spec.BWSaturationFrac * bw
 		caps[i] = math.Min(bw, c)
 	}
-	alloc := waterfill(caps, bw)
+	alloc := growFloats(&d.alloc, n)
+	d.unsat = waterfillInto(alloc, caps, bw, d.unsat)
 
 	soonest := sim.MaxTime
 	now := d.sim.Now()
@@ -338,37 +414,47 @@ func (d *Device) reallocate() {
 		r.crate = occ[i] * d.TotalFLOPS() * eff
 		r.brate = alloc[i]
 		r.commRate = d.Spec.NVLinkBandwidth
-		for _, s := range []struct{ rem, rate float64 }{
-			{r.remC, r.crate}, {r.remB, r.brate}, {r.remComm, r.commRate},
-		} {
-			if s.rem <= 0 {
-				continue
-			}
-			if s.rate <= 0 {
-				continue // starved this round; a future reallocate unblocks it
-			}
-			t := now + sim.FromSeconds(s.rem/s.rate)
-			if t <= now {
-				t = now + 1
-			}
-			if t < soonest {
-				soonest = t
-			}
+		// A zero rate means starved this round; a future reallocate
+		// unblocks it.
+		if t := subStreamDeadline(now, r.remC, r.crate); t < soonest {
+			soonest = t
+		}
+		if t := subStreamDeadline(now, r.remB, r.brate); t < soonest {
+			soonest = t
+		}
+		if t := subStreamDeadline(now, r.remComm, r.commRate); t < soonest {
+			soonest = t
 		}
 	}
 	if soonest == sim.MaxTime {
 		// Nothing has pending work: everything finishes now.
 		soonest = now + 1
 	}
-	d.next = d.sim.At(soonest, d.onProgress)
+	d.next = d.sim.AtFunc(soonest, deviceProgress, d)
 }
+
+// subStreamDeadline returns when rem units drain at rate units/second, or
+// MaxTime when the sub-stream has no pending work or is starved.
+func subStreamDeadline(now sim.Time, rem, rate float64) sim.Time {
+	if rem <= 0 || rate <= 0 {
+		return sim.MaxTime
+	}
+	t := now + sim.FromSeconds(rem/rate)
+	if t <= now {
+		t = now + 1
+	}
+	return t
+}
+
+// deviceProgress is the bound callback for the next-completion event.
+func deviceProgress(arg any) { arg.(*Device).onProgress() }
 
 // onProgress fires at the earliest sub-stream completion: it advances
 // work, retires finished kernels, and reallocates.
 func (d *Device) onProgress() {
-	d.next = nil
+	d.next = sim.Handle{}
 	d.progress()
-	var finished []*run
+	finished := d.finished[:0]
 	remaining := d.running[:0]
 	for _, r := range d.running {
 		if r.remC <= workEps && r.remB <= workEps && r.remComm <= workEps {
@@ -382,12 +468,17 @@ func (d *Device) onProgress() {
 		r.part.current = nil
 	}
 	d.reallocate()
-	for _, r := range finished {
-		if r.done != nil {
+	for i, r := range finished {
+		if r.dfn != nil {
+			r.dfn(r.darg)
+		} else if r.done != nil {
 			r.done()
 		}
 		r.part.tryStart()
+		finished[i] = nil
+		d.releaseRun(r)
 	}
+	d.finished = finished[:0]
 }
 
 // workEps tolerates float residue when deciding a sub-stream is done: one
@@ -439,6 +530,17 @@ func (d *Device) HostBacklog() sim.Time {
 // redistributed among unsatisfied demands.
 func waterfill(demands []float64, capacity float64) []float64 {
 	alloc := make([]float64, len(demands))
+	waterfillInto(alloc, demands, capacity, nil)
+	return alloc
+}
+
+// waterfillInto is the allocation-free waterfill: it fills alloc (which
+// must have len(demands)) in place, using and returning the unsat scratch
+// slice so callers can reuse its capacity.
+func waterfillInto(alloc, demands []float64, capacity float64, unsat []int) []int {
+	for i := range alloc {
+		alloc[i] = 0
+	}
 	var total float64
 	active := 0
 	for _, v := range demands {
@@ -448,19 +550,20 @@ func waterfill(demands []float64, capacity float64) []float64 {
 		}
 	}
 	if active == 0 {
-		return alloc
+		return unsat
 	}
 	if total <= capacity {
 		copy(alloc, demands)
-		return alloc
+		return unsat
 	}
 	remaining := capacity
-	unsat := make([]int, 0, active)
+	unsat = unsat[:0]
 	for i, v := range demands {
 		if v > 0 {
 			unsat = append(unsat, i)
 		}
 	}
+	scratch := unsat
 	for len(unsat) > 0 {
 		fair := remaining / float64(len(unsat))
 		progressed := false
@@ -483,5 +586,24 @@ func waterfill(demands []float64, capacity float64) []float64 {
 			break
 		}
 	}
-	return alloc
+	return scratch
+}
+
+// growFloats resizes *s to n elements, reusing capacity. Contents are
+// unspecified; callers overwrite every element.
+func growFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growInts resizes *s to n elements, reusing capacity.
+func growInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }

@@ -9,8 +9,6 @@
 // matching behaves exactly like hash-based radix caching over real tokens.
 package kvcache
 
-import "container/heap"
-
 // PageID identifies the content of one KV page (a hash over the tokens it
 // covers in a real system).
 type PageID uint64
@@ -27,17 +25,61 @@ func PageCount(tokens, pageTokens int) int {
 	return (tokens + pageTokens - 1) / pageTokens
 }
 
+// node is one cached page in the radix tree. Most nodes sit on a linear
+// chain (one child), so the single child is held inline and the children
+// map is only allocated when a node actually branches. Evicted nodes are
+// recycled through the pool's free list: a recycled slot's fresh
+// lastAccess (the clock is strictly monotonic) makes every stale LRU
+// entry pointing at it mismatch and drop.
 type node struct {
 	page       PageID
 	parent     *node
-	children   map[PageID]*node
+	only       *node            // the single child while children == nil
+	children   map[PageID]*node // allocated on the second distinct child
+	nchild     int
 	pins       int
 	lastAccess int64
 	dead       bool
 }
 
+// child returns the child holding page pg, or nil.
+func (n *node) child(pg PageID) *node {
+	if n.children != nil {
+		return n.children[pg]
+	}
+	if n.only != nil && n.only.page == pg {
+		return n.only
+	}
+	return nil
+}
+
+// addChild links c under n.
+func (n *node) addChild(c *node) {
+	switch {
+	case n.children != nil:
+		n.children[c.page] = c
+	case n.only == nil:
+		n.only = c
+	default:
+		n.children = map[PageID]*node{n.only.page: n.only, c.page: c}
+		n.only = nil
+	}
+	n.nchild++
+}
+
+// removeChild unlinks c from n. The branch map, once allocated, is kept
+// (branch points tend to branch again).
+func (n *node) removeChild(c *node) {
+	if n.children != nil {
+		delete(n.children, c.page)
+	} else if n.only == c {
+		n.only = nil
+	}
+	n.nchild--
+}
+
 // evictable reports whether the node could be evicted right now.
-func (n *node) evictable() bool { return !n.dead && len(n.children) == 0 && n.pins == 0 }
+func (n *node) evictable() bool { return !n.dead && n.nchild == 0 && n.pins == 0 }
 
 // evEntry is a lazy LRU heap entry; it is stale once the node's
 // lastAccess moved past the recorded access or the node died.
@@ -46,13 +88,49 @@ type evEntry struct {
 	access int64
 }
 
+// evHeap is a hand-rolled min-heap on access — container/heap would box
+// every Push/Pop through any, allocating on the pool's hottest path.
 type evHeap []evEntry
 
-func (h evHeap) Len() int           { return len(h) }
-func (h evHeap) Less(i, j int) bool { return h[i].access < h[j].access }
-func (h evHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *evHeap) Push(x any)        { *h = append(*h, x.(evEntry)) }
-func (h *evHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *evHeap) push(e evEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].access <= s[i].access {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *evHeap) pop() evEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = evEntry{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1].access < s[c].access {
+			c++
+		}
+		if s[i].access <= s[c].access {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
 
 // Stats summarises cache effectiveness.
 type Stats struct {
@@ -85,6 +163,7 @@ type Pool struct {
 	lru       evHeap
 	clock     int64
 	stats     Stats
+	free      []*node // recycled evicted nodes
 }
 
 // New creates a pool holding capacityTokens of KV, paged by pageTokens.
@@ -95,8 +174,27 @@ func New(capacityTokens int64, pageTokens int) *Pool {
 	return &Pool{
 		capacity:   capacityTokens,
 		pageTokens: pageTokens,
-		root:       &node{children: map[PageID]*node{}},
+		root:       &node{},
 	}
+}
+
+// allocNode takes a node off the free list (or makes one) keyed for page
+// pg under parent.
+func (p *Pool) allocNode(pg PageID, parent *node) *node {
+	var n *node
+	if l := len(p.free); l > 0 {
+		n = p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+		m := n.children
+		*n = node{children: m} // keep the (empty) branch map for reuse
+	} else {
+		n = &node{}
+	}
+	n.page = pg
+	n.parent = parent
+	n.lastAccess = p.tick()
+	return n
 }
 
 // Capacity returns pool capacity in tokens.
@@ -126,7 +224,7 @@ func (p *Pool) tick() int64 {
 func (p *Pool) touch(n *node) {
 	n.lastAccess = p.tick()
 	if n.evictable() {
-		heap.Push(&p.lru, evEntry{n, n.lastAccess})
+		p.lru.push(evEntry{n, n.lastAccess})
 	}
 }
 
@@ -135,7 +233,7 @@ func (p *Pool) touch(n *node) {
 // eviction must not jump to most-recently-used).
 func (p *Pool) listIfEvictable(n *node) {
 	if n != p.root && n.evictable() {
-		heap.Push(&p.lru, evEntry{n, n.lastAccess})
+		p.lru.push(evEntry{n, n.lastAccess})
 	}
 }
 
@@ -147,8 +245,8 @@ func (p *Pool) Peek(pages []PageID) int {
 	n := p.root
 	matched := 0
 	for _, pg := range pages {
-		child, ok := n.children[pg]
-		if !ok {
+		child := n.child(pg)
+		if child == nil {
 			break
 		}
 		n = child
@@ -163,8 +261,8 @@ func (p *Pool) Match(pages []PageID) int {
 	n := p.root
 	matched := 0
 	for _, pg := range pages {
-		child, ok := n.children[pg]
-		if !ok {
+		child := n.child(pg)
+		if child == nil {
 			break
 		}
 		p.touch(child)
@@ -192,16 +290,17 @@ func (p *Pool) MatchTokens(pages []PageID, totalTokens int) int {
 // false when nothing is evictable.
 func (p *Pool) evictOne() bool {
 	for len(p.lru) > 0 {
-		e := heap.Pop(&p.lru).(evEntry)
+		e := p.lru.pop()
 		n := e.n
 		if n.dead || !n.evictable() || n.lastAccess != e.access {
 			continue // stale entry
 		}
 		n.dead = true
-		delete(n.parent.children, n.page)
+		n.parent.removeChild(n)
 		p.usedPages--
 		p.stats.Evictions++
 		p.listIfEvictable(n.parent)
+		p.free = append(p.free, n)
 		return true
 	}
 	return false
@@ -248,7 +347,7 @@ func (p *Pool) Insert(pages []PageID) int {
 	n := p.root
 	added := 0
 	for _, pg := range pages {
-		if child, ok := n.children[pg]; ok {
+		if child := n.child(pg); child != nil {
 			p.touch(child)
 			n = child
 			continue
@@ -256,8 +355,8 @@ func (p *Pool) Insert(pages []PageID) int {
 		if !p.freeTokens(int64(p.pageTokens)) {
 			break
 		}
-		child := &node{page: pg, parent: n, children: map[PageID]*node{}, lastAccess: p.tick()}
-		n.children[pg] = child
+		child := p.allocNode(pg, n)
+		n.addChild(child)
 		p.usedPages++
 		p.stats.Inserts++
 		p.listIfEvictable(child)
@@ -282,8 +381,8 @@ func (p *Pool) Unpin(pages []PageID, count int) {
 func (p *Pool) adjustPins(pages []PageID, count, delta int) {
 	n := p.root
 	for i := 0; i < count && i < len(pages); i++ {
-		child, ok := n.children[pages[i]]
-		if !ok {
+		child := n.child(pages[i])
+		if child == nil {
 			return
 		}
 		child.pins += delta
@@ -298,8 +397,9 @@ func (p *Pool) adjustPins(pages []PageID, count, delta int) {
 // Clear drops all cached pages (used by disaggregated engines when an
 // instance releases its pool) and resets reservations.
 func (p *Pool) Clear() {
-	p.root = &node{children: map[PageID]*node{}}
+	p.root = &node{}
 	p.usedPages = 0
 	p.reserved = 0
 	p.lru = p.lru[:0]
+	p.free = p.free[:0] // dropped tree nodes must not be resurrected
 }

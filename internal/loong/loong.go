@@ -44,9 +44,13 @@ type Engine struct {
 	queue   []*pjob
 	merging []*serve.Running
 	pending []*workload.Request
+
+	ctxScratch []int
+	finScratch []*serve.Running
 }
 
 type pjob struct {
+	eng  *Engine
 	run  *serve.Running
 	gpus int
 }
@@ -112,7 +116,7 @@ func (e *Engine) admit() {
 		e.reservedTokens += need
 		run := &serve.Running{R: r} // CachedTokens stays 0: no reuse
 		e.reserved[run] = need
-		e.queue = append(e.queue, &pjob{run: run})
+		e.queue = append(e.queue, &pjob{eng: e, run: run})
 	}
 }
 
@@ -167,13 +171,22 @@ func (e *Engine) launchPrefill(job *pjob) {
 	e.devices = append(e.devices, dev)
 	part := dev.Partition(e.env.Spec.SMs, "prefill")
 	phase := e.env.Arch.PrefillPhase([]model.Seq{{New: job.run.R.InputTokens}}, job.gpus)
-	part.Launch(gpu.Kernel{
+	part.LaunchFn(gpu.Kernel{
 		Label: "prefill-phase", Kind: gpu.Prefill,
 		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
 		Tokens: phase.Tokens,
 		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
-	}, func() { e.onPrefillDone(job) })
+	}, prefillDone, job)
 }
+
+// prefillDone / mergeAfterMigrate / decodeDone are the engine's bound
+// callbacks: the pjob or engine rides as the event argument, so steady-state
+// scheduling allocates no closures.
+func prefillDone(arg any) { j := arg.(*pjob); j.eng.onPrefillDone(j) }
+
+func mergeAfterMigrate(arg any) { j := arg.(*pjob); j.eng.onMigrated(j.run) }
+
+func decodeDone(arg any) { arg.(*Engine).onDecodeDone() }
 
 // onPrefillDone releases the elastic group and migrates the KV into the
 // decode group.
@@ -186,18 +199,22 @@ func (e *Engine) onPrefillDone(job *pjob) {
 	defer e.schedule()
 	kvBytes := float64(run.R.InputTokens) * e.env.Arch.KVBytesPerToken()
 	delay := sim.FromSeconds(kvBytes / (e.env.Spec.NVLinkBandwidth * float64(job.gpus)))
-	e.env.Sim.After(delay, func() {
-		e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
-		run.Generated = 1
-		if run.DecodeDone() {
-			e.finish(run)
-		} else if e.decodeRunning {
-			e.merging = append(e.merging, run)
-		} else {
-			e.decode.Add(run)
-		}
-		e.schedule()
-	})
+	e.env.Sim.AfterFunc(delay, mergeAfterMigrate, job)
+}
+
+// onMigrated lands a prefilled request in the decode group once its KV
+// migration completes.
+func (e *Engine) onMigrated(run *serve.Running) {
+	e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
+	run.Generated = 1
+	if run.DecodeDone() {
+		e.finish(run)
+	} else if e.decodeRunning {
+		e.merging = append(e.merging, run)
+	} else {
+		e.decode.Add(run)
+	}
+	e.schedule()
 }
 
 func (e *Engine) finish(run *serve.Running) {
@@ -258,7 +275,8 @@ func (e *Engine) startDecode() {
 		return // every GPU is in a prefill group; retried on release
 	}
 	part := e.decodePartition()
-	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.decodeGs)
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
+	cost := e.env.Arch.DecodeIter(e.ctxScratch, e.decodeGs)
 	// Sequence parallelism replicates weights across slices: each SP
 	// slice streams the full (TP-sharded) weights.
 	slices := e.decodeGs / e.baseTP
@@ -266,21 +284,23 @@ func (e *Engine) startDecode() {
 		cost.Bytes += float64(slices-1) * e.env.Arch.WeightBytes()
 	}
 	e.decodeRunning = true
-	part.Launch(gpu.Kernel{
+	part.LaunchFn(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
-	}, func() {
-		now := e.env.Sim.Now()
-		e.decodeRunning = false
-		finished := e.decode.Step(now, e.env.Rec)
-		for _, r := range finished {
-			e.finish(r)
-		}
-		for _, r := range e.merging {
-			e.decode.Add(r)
-		}
-		e.merging = e.merging[:0]
-		e.schedule()
-	})
+	}, decodeDone, e)
+}
+
+func (e *Engine) onDecodeDone() {
+	now := e.env.Sim.Now()
+	e.decodeRunning = false
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	for _, r := range e.finScratch {
+		e.finish(r)
+	}
+	for _, r := range e.merging {
+		e.decode.Add(r)
+	}
+	e.merging = e.merging[:0]
+	e.schedule()
 }

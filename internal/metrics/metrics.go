@@ -33,8 +33,15 @@ type reqRec struct {
 	finished    sim.Time
 	tokens      int
 	inputTokens int
+	idx         int // position in Recorder.ids (the removal index map)
+	tbtN        int // TBT samples this request contributed
 	done        bool
 }
+
+// tombstoneID marks an aborted request's slot in the ids slice; iteration
+// skips it and compaction reclaims it. Real request IDs never take this
+// value.
+const tombstoneID = math.MinInt
 
 // tbtSample is one inter-token gap, tagged with the request that emitted
 // it and the emission time so windowed rollups and aborts can attribute
@@ -48,7 +55,13 @@ type tbtSample struct {
 // Recorder collects latency samples during a simulation run.
 type Recorder struct {
 	reqs map[int]*reqRec
-	ids  []int // insertion order for deterministic iteration
+	// ids holds request IDs in insertion order for deterministic
+	// iteration. Abort overwrites the request's slot (found through its
+	// record's index, not a scan) with tombstoneID; compact reclaims the
+	// slots once they outnumber the live entries.
+	ids        []int
+	tombstones int
+	open       int // arrived-but-unfinished requests
 
 	tbt []tbtSample // all requests pooled
 
@@ -96,8 +109,9 @@ func (r *Recorder) Arrive(id int, at sim.Time, inputTokens int) {
 	if _, ok := r.reqs[id]; ok {
 		return
 	}
-	r.reqs[id] = &reqRec{arrival: at, admitted: -1, firstToken: -1, inputTokens: inputTokens}
+	r.reqs[id] = &reqRec{arrival: at, admitted: -1, firstToken: -1, inputTokens: inputTokens, idx: len(r.ids)}
 	r.ids = append(r.ids, id)
+	r.open++
 	if r.trace != nil {
 		r.trace.AsyncBegin(at, r.track, "request", int64(id), "request",
 			obs.Arg{Key: "input_tokens", Val: inputTokens})
@@ -149,6 +163,7 @@ func (r *Recorder) Token(id int, at sim.Time) {
 		}
 	} else {
 		r.tbt = append(r.tbt, tbtSample{id: id, at: at, v: (at - rec.lastToken).Seconds()})
+		rec.tbtN++
 	}
 	rec.lastToken = at
 }
@@ -161,6 +176,7 @@ func (r *Recorder) Finish(id int, at sim.Time) {
 	if rec, ok := r.reqs[id]; ok && !rec.done {
 		rec.finished = at
 		rec.done = true
+		r.open--
 		if r.OnFinish != nil {
 			r.OnFinish(id, at)
 		}
@@ -201,20 +217,40 @@ func (r *Recorder) Abort(id int) bool {
 	// failure's cost in fleet throughput.
 	r.decodeTokens -= int64(rec.tokens)
 	delete(r.reqs, id)
-	for i, v := range r.ids {
-		if v == id {
-			r.ids = append(r.ids[:i], r.ids[i+1:]...)
-			break
-		}
+	r.open--
+	// O(1) slot removal through the record's index; the order-preserving
+	// compaction runs only when tombstones outnumber live entries, so a
+	// drain aborting k of n requests costs O(k + n) total, not O(k·n).
+	r.ids[rec.idx] = tombstoneID
+	r.tombstones++
+	if r.tombstones > len(r.ids)-r.tombstones {
+		r.compact()
 	}
-	kept := r.tbt[:0]
-	for _, s := range r.tbt {
-		if s.id != id {
-			kept = append(kept, s)
+	if rec.tbtN > 0 {
+		kept := r.tbt[:0]
+		for _, s := range r.tbt {
+			if s.id != id {
+				kept = append(kept, s)
+			}
 		}
+		r.tbt = kept
 	}
-	r.tbt = kept
 	return true
+}
+
+// compact rewrites ids without tombstones, preserving insertion order and
+// refreshing every record's index.
+func (r *Recorder) compact() {
+	kept := r.ids[:0]
+	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
+		r.reqs[id].idx = len(kept)
+		kept = append(kept, id)
+	}
+	r.ids = kept
+	r.tombstones = 0
 }
 
 // OpenIDs returns the IDs of arrived-but-unfinished requests in arrival
@@ -223,6 +259,9 @@ func (r *Recorder) Abort(id int) bool {
 func (r *Recorder) OpenIDs() []int {
 	var out []int
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		if !r.reqs[id].done {
 			out = append(out, id)
 		}
@@ -236,12 +275,14 @@ type Quantiles struct {
 	N                       int
 }
 
+// quantiles summarises a sample set, sorting it IN PLACE — internal
+// callers own their slices; the exported QuantilesOf copies first.
 func quantiles(samples []float64) Quantiles {
 	q := Quantiles{N: len(samples)}
 	if len(samples) == 0 {
 		return q
 	}
-	s := append([]float64(nil), samples...)
+	s := samples
 	sort.Float64s(s)
 	var sum float64
 	for _, v := range s {
@@ -349,6 +390,9 @@ func (r *Recorder) WithinSLO(slo SLO) int {
 	}
 	n := 0
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		if !rec.done || rec.firstToken < 0 || bad[id] {
 			continue
@@ -365,6 +409,9 @@ func (r *Recorder) WithinSLO(slo SLO) int {
 func (r *Recorder) TTFTAttainment(slo sim.Time) float64 {
 	total, ok := 0, 0
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		if rec.firstToken < 0 {
 			continue
@@ -386,6 +433,9 @@ func (r *Recorder) Summarize(name string, now sim.Time) Summary {
 	s := Summary{Name: name, Makespan: now}
 	var ttft, tpot, e2e, perTok []float64
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		s.Requests++
 		if rec.firstToken >= 0 {
@@ -420,18 +470,15 @@ func (r *Recorder) Summarize(name string, now sim.Time) Summary {
 
 // IDs returns the recorded request IDs in arrival-insertion order
 // (cluster tests map them back to trace sessions).
-func (r *Recorder) IDs() []int { return r.ids }
+func (r *Recorder) IDs() []int {
+	if r.tombstones > 0 {
+		r.compact()
+	}
+	return r.ids
+}
 
 // Unfinished returns how many arrived requests have not completed.
-func (r *Recorder) Unfinished() int {
-	n := 0
-	for _, id := range r.ids {
-		if !r.reqs[id].done {
-			n++
-		}
-	}
-	return n
-}
+func (r *Recorder) Unfinished() int { return r.open }
 
 // TBTSamples exposes raw TBT samples in seconds (CDF plotting).
 func (r *Recorder) TBTSamples() []float64 {
@@ -446,6 +493,9 @@ func (r *Recorder) TBTSamples() []float64 {
 func (r *Recorder) TTFTPerTokenSamples() []float64 {
 	var out []float64
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		if rec.firstToken >= 0 && rec.inputTokens > 0 {
 			out = append(out, (rec.firstToken-rec.arrival).Seconds()/float64(rec.inputTokens))

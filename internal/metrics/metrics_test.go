@@ -256,3 +256,79 @@ func TestPropertyAttainmentMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite regression: Abort removes a request's ids slot through the
+// record's index (not an O(n) splice), and interleaved finish/abort must
+// preserve arrival order for every survivor — including when enough
+// aborts accumulate to trigger compaction and when an aborted ID
+// re-arrives afterwards.
+func TestAbortInterleavedOrderStability(t *testing.T) {
+	r := NewRecorder()
+	const n = 64
+	for id := 0; id < n; id++ {
+		r.Arrive(id, sim.Time(id)*ms(1), 10)
+	}
+	// Interleave: finish the multiples of 3, abort the multiples of 4
+	// (that aren't finished), alternating so tombstones pile up between
+	// live entries rather than at one end.
+	aborted := map[int]bool{}
+	for id := 0; id < n; id++ {
+		switch {
+		case id%3 == 0:
+			r.Token(id, ms(100))
+			r.Finish(id, ms(200))
+		case id%4 == 0:
+			if !r.Abort(id) {
+				t.Fatalf("abort of open request %d failed", id)
+			}
+			aborted[id] = true
+		}
+	}
+	var want []int
+	for id := 0; id < n; id++ {
+		if !aborted[id] {
+			want = append(want, id)
+		}
+	}
+	got := r.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %d, want %d (order broken)", i, got[i], want[i])
+		}
+	}
+	// An aborted ID re-arrives (failover re-dispatch routed back): it must
+	// take a fresh slot at the tail, not resurrect the old one.
+	r.Arrive(4, ms(500), 10)
+	ids := r.IDs()
+	if ids[len(ids)-1] != 4 {
+		t.Fatalf("re-arrived ID not at tail: %v", ids[len(ids)-1])
+	}
+	s := r.Summarize("x", ms(1000))
+	if s.Requests != len(want)+1 {
+		t.Fatalf("Requests = %d, want %d", s.Requests, len(want)+1)
+	}
+	if got := r.Unfinished(); got != s.Requests-s.Finished {
+		t.Fatalf("Unfinished = %d, want %d", got, s.Requests-s.Finished)
+	}
+}
+
+// Aborting mid-stream drops exactly the aborted request's TBT samples.
+func TestAbortDropsOnlyOwnTBT(t *testing.T) {
+	r := NewRecorder()
+	r.Arrive(1, 0, 10)
+	r.Arrive(2, 0, 10)
+	for i := 0; i < 5; i++ {
+		r.Token(1, ms(float64(10*i+10)))
+		r.Token(2, ms(float64(10*i+15)))
+	}
+	if got := len(r.TBTSamples()); got != 8 {
+		t.Fatalf("TBT samples = %d, want 8", got)
+	}
+	r.Abort(1)
+	if got := len(r.TBTSamples()); got != 4 {
+		t.Fatalf("TBT samples after abort = %d, want 4", got)
+	}
+}

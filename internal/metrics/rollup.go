@@ -23,11 +23,18 @@ func Merge(recs ...*Recorder) *Recorder {
 			continue
 		}
 		for _, id := range r.ids {
+			if id == tombstoneID {
+				continue
+			}
 			if _, dup := m.reqs[id]; dup {
 				panic(fmt.Sprintf("metrics: Merge saw request ID %d twice; inputs must be disjoint", id))
 			}
-			m.reqs[id] = r.reqs[id]
+			rec := r.reqs[id]
+			m.reqs[id] = rec
 			m.ids = append(m.ids, id)
+			if !rec.done {
+				m.open++
+			}
 		}
 		m.tbt = append(m.tbt, r.tbt...)
 		m.prefillTokens += r.prefillTokens
@@ -104,6 +111,9 @@ func (r *Recorder) RollupSLO(bounds []sim.Time, tbtSLO sim.Time) []Window {
 		return i
 	}
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		if i := locate(rec.arrival); i >= 0 {
 			wins[i].Arrivals++
@@ -145,17 +155,34 @@ func (r *Recorder) RollupSLO(bounds []sim.Time, tbtSLO sim.Time) []Window {
 // first token was observed at or after from, in arrival order. Fleet
 // autoscalers pool these across replicas before summarising.
 func (r *Recorder) TTFTSamplesSince(from sim.Time) []float64 {
-	var samples []float64
+	return r.AppendTTFTSince(nil, from)
+}
+
+// AppendTTFTSince is TTFTSamplesSince with a caller-owned buffer: samples
+// are appended to dst (reusing its capacity), so per-tick autoscaler
+// snapshots do not allocate once the buffer has grown.
+func (r *Recorder) AppendTTFTSince(dst []float64, from sim.Time) []float64 {
 	for _, id := range r.ids {
+		if id == tombstoneID {
+			continue
+		}
 		rec := r.reqs[id]
 		if rec.firstToken >= from {
-			samples = append(samples, (rec.firstToken - rec.arrival).Seconds())
+			dst = append(dst, (rec.firstToken - rec.arrival).Seconds())
 		}
 	}
-	return samples
+	return dst
 }
 
 // QuantilesOf summarises an arbitrary sample set (seconds) with the same
 // statistics the recorder reports, for callers that pool samples across
-// recorders themselves.
-func QuantilesOf(samples []float64) Quantiles { return quantiles(samples) }
+// recorders themselves. The input is not modified.
+func QuantilesOf(samples []float64) Quantiles {
+	return quantiles(append([]float64(nil), samples...))
+}
+
+// QuantilesInPlace is QuantilesOf for callers that own the sample slice:
+// it sorts samples in place, skipping the defensive copy. Per-tick
+// consumers (fleet autoscalers) pair it with AppendTTFTSince over a
+// reused scratch buffer.
+func QuantilesInPlace(samples []float64) Quantiles { return quantiles(samples) }

@@ -38,21 +38,36 @@ func Workers(n int) int {
 // byte-identical to a sequential loop. fn must be safe to call from
 // multiple goroutines.
 func RunIndexed[T any](n int, fn func(i int) T) []T {
+	return RunArena(n, func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) T { return fn(i) })
+}
+
+// RunArena is RunIndexed for workers that carry reusable per-worker
+// state: every goroutine that joins the wave builds one arena with
+// newArena and threads it through each task it executes, so expensive
+// per-task scratch (trace buffers, engines, recorders) is allocated
+// once per worker instead of once per task. The arena is worker-private
+// — fn never sees the same arena concurrently, but must leave it in a
+// state the worker's next task can start from. Results are returned in
+// index order, so output stays byte-identical to a sequential loop as
+// long as fn(i) is deterministic given a fresh-or-reset arena.
+func RunArena[A, T any](n int, newArena func() A, fn func(i int, arena A) T) []T {
 	out := make([]T, n)
 	if n <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+		if n == 1 {
+			out[0] = fn(0, newArena())
 		}
 		return out
 	}
 	var idx atomic.Int64
 	work := func() {
+		arena := newArena()
 		for {
 			i := int(idx.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			out[i] = fn(i)
+			out[i] = fn(i, arena)
 		}
 	}
 	var wg sync.WaitGroup

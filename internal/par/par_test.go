@@ -1,0 +1,60 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunIndexedOrder(t *testing.T) {
+	out := RunIndexed(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestRunArenaWorkerPrivate checks the arena contract: every task sees
+// an arena no other goroutine is touching concurrently, results come
+// back in index order, and arenas are actually reused (far fewer arenas
+// than tasks when the wave is wide).
+func TestRunArenaWorkerPrivate(t *testing.T) {
+	type arena struct {
+		mu    sync.Mutex // would be contended if shared across workers
+		tasks int
+	}
+	var mu sync.Mutex
+	var arenas []*arena
+	out := RunArena(200,
+		func() *arena {
+			a := &arena{}
+			mu.Lock()
+			arenas = append(arenas, a)
+			mu.Unlock()
+			return a
+		},
+		func(i int, a *arena) int {
+			if !a.mu.TryLock() {
+				t.Error("arena shared between concurrent tasks")
+				return -1
+			}
+			a.tasks++
+			a.mu.Unlock()
+			return i
+		})
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if len(arenas) == 0 || len(arenas) > Workers(200) {
+		t.Fatalf("built %d arenas, want 1..%d", len(arenas), Workers(200))
+	}
+	total := 0
+	for _, a := range arenas {
+		total += a.tasks
+	}
+	if total != 200 {
+		t.Fatalf("arenas saw %d tasks, want 200", total)
+	}
+}

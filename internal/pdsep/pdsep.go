@@ -37,9 +37,18 @@ type Engine struct {
 	merging   []*serve.Running // migrated, waiting for a decode boundary
 	pending   []*workload.Request
 	dReserved map[*serve.Running]int64 // decode-pool reservations
+
+	// inFlight is the prefill batch currently on the device (one at a
+	// time, guarded by prefillBusy); the remaining slices are reused
+	// per-iteration scratch.
+	inFlight   []*serve.Running
+	seqScratch []model.Seq
+	ctxScratch []int
+	finScratch []*serve.Running
 }
 
 type handoffReq struct {
+	eng *Engine
 	run *serve.Running
 }
 
@@ -125,8 +134,8 @@ func (e *Engine) startPrefill() {
 	if e.prefillBusy || len(e.queue) == 0 {
 		return
 	}
-	var batch []*serve.Running
-	var seqs []model.Seq
+	batch := e.inFlight[:0]
+	seqs := e.seqScratch[:0]
 	tokens := 0
 	for len(e.queue) > 0 {
 		run := e.queue[0]
@@ -142,21 +151,34 @@ func (e *Engine) startPrefill() {
 		seqs = append(seqs, model.Seq{New: newTok, Reused: run.CachedTokens})
 		tokens += newTok
 	}
+	e.inFlight, e.seqScratch = batch, seqs
 	phase := e.env.Arch.PrefillPhase(seqs, e.pDev.TP)
 	e.prefillBusy = true
-	e.pPart.Launch(gpu.Kernel{
+	e.pPart.LaunchFn(gpu.Kernel{
 		Label: "prefill-phase", Kind: gpu.Prefill,
 		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
 		Tokens: phase.Tokens,
 		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
-	}, func() {
-		e.prefillBusy = false
-		for _, run := range batch {
-			e.onPrefillDone(run)
-		}
-		e.schedule()
-	})
+	}, prefillBatchDone, e)
 }
+
+// prefillBatchDone / migrated / decodeDone are the engine's bound
+// callbacks: the engine or handoff record rides as the event argument,
+// so steady-state scheduling allocates no closures.
+func prefillBatchDone(arg any) {
+	e := arg.(*Engine)
+	e.prefillBusy = false
+	for i, run := range e.inFlight {
+		e.onPrefillDone(run)
+		e.inFlight[i] = nil
+	}
+	e.inFlight = e.inFlight[:0]
+	e.schedule()
+}
+
+func migrated(arg any) { h := arg.(*handoffReq); h.eng.onMigrated(h.run) }
+
+func decodeDone(arg any) { arg.(*Engine).onDecodeDone() }
 
 // onPrefillDone publishes the input KV into the prefill radix cache and
 // queues the request for migration to the decode instance.
@@ -166,7 +188,7 @@ func (e *Engine) onPrefillDone(run *serve.Running) {
 	e.pPool.Unpin(run.R.Pages, run.PinnedPages)
 	e.pPool.Release(run.ReservedTokens)
 	e.pPool.Insert(run.R.Pages)
-	e.handoff = append(e.handoff, &handoffReq{run})
+	e.handoff = append(e.handoff, &handoffReq{eng: e, run: run})
 }
 
 // tryHandoff migrates completed prefills into the decode instance when
@@ -181,23 +203,25 @@ func (e *Engine) tryHandoff() {
 		}
 		e.handoff = e.handoff[1:]
 		e.dReserved[h.run] = need
-		run := h.run
-		kvBytes := float64(run.R.InputTokens) * e.env.Arch.KVBytesPerToken()
+		kvBytes := float64(h.run.R.InputTokens) * e.env.Arch.KVBytesPerToken()
 		delay := sim.FromSeconds(kvBytes / (e.env.Spec.NVLinkBandwidth * float64(e.pDev.TP)))
-		e.env.Sim.After(delay, func() {
-			// First token is delivered after migration.
-			e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
-			run.Generated = 1
-			if run.DecodeDone() {
-				e.finishDecode(run)
-			} else if e.decodeRunning {
-				e.merging = append(e.merging, run)
-			} else {
-				e.decode.Add(run)
-			}
-			e.schedule()
-		})
+		e.env.Sim.AfterFunc(delay, migrated, h)
 	}
+}
+
+// onMigrated lands a request on the decode instance once its KV has
+// crossed NVLink. First token is delivered after migration.
+func (e *Engine) onMigrated(run *serve.Running) {
+	e.env.Rec.Token(run.R.ID, e.env.Sim.Now())
+	run.Generated = 1
+	if run.DecodeDone() {
+		e.finishDecode(run)
+	} else if e.decodeRunning {
+		e.merging = append(e.merging, run)
+	} else {
+		e.decode.Add(run)
+	}
+	e.schedule()
 }
 
 func (e *Engine) finishDecode(run *serve.Running) {
@@ -212,27 +236,30 @@ func (e *Engine) startDecode() {
 	if e.decodeRunning || e.decode.Size() == 0 {
 		return
 	}
-	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.dDev.TP)
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
+	cost := e.env.Arch.DecodeIter(e.ctxScratch, e.dDev.TP)
 	e.decodeRunning = true
-	e.dPart.Launch(gpu.Kernel{
+	e.dPart.LaunchFn(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
-	}, func() {
-		now := e.env.Sim.Now()
-		e.decodeRunning = false
-		finished := e.decode.Step(now, e.env.Rec)
-		for _, r := range finished {
-			e.dPool.Release(e.dReserved[r])
-			delete(e.dReserved, r)
-		}
-		for _, r := range e.merging {
-			e.decode.Add(r)
-		}
-		e.merging = e.merging[:0]
-		if len(finished) > 0 {
-			e.admit()
-		}
-		e.schedule()
-	})
+	}, decodeDone, e)
+}
+
+func (e *Engine) onDecodeDone() {
+	now := e.env.Sim.Now()
+	e.decodeRunning = false
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	for _, r := range e.finScratch {
+		e.dPool.Release(e.dReserved[r])
+		delete(e.dReserved, r)
+	}
+	for _, r := range e.merging {
+		e.decode.Add(r)
+	}
+	e.merging = e.merging[:0]
+	if len(e.finScratch) > 0 {
+		e.admit()
+	}
+	e.schedule()
 }

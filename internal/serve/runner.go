@@ -67,10 +67,13 @@ func Run(factory Factory, cfg Config, trace *workload.Trace) Result {
 	s := sim.New()
 	inst := NewInstance(s, factory, cfg, "")
 
+	// One shared submit callback for every arrival: the request rides as
+	// the event argument, so scheduling a million-request trace allocates
+	// one closure, not a million.
+	submit := func(arg any) { inst.Submit(arg.(*workload.Request)) }
 	var lastArrival sim.Time
 	for _, r := range trace.Requests {
-		r := r
-		s.At(r.Arrival, func() { inst.Submit(r) })
+		s.AtFunc(r.Arrival, submit, r)
 		if r.Arrival > lastArrival {
 			lastArrival = r.Arrival
 		}

@@ -146,11 +146,19 @@ func (b *Batch) Size() int { return len(b.Reqs) }
 
 // Ctxs returns per-request attended context lengths for the cost model.
 func (b *Batch) Ctxs() []int {
-	out := make([]int, len(b.Reqs))
-	for i, r := range b.Reqs {
-		out[i] = r.CtxTokens()
+	return b.CtxsInto(make([]int, 0, len(b.Reqs)))
+}
+
+// CtxsInto is the allocation-free Ctxs: it fills dst (reusing its
+// capacity) and returns it. Engines keep one scratch slice and call this
+// every decode iteration; the cost model reads the slice synchronously
+// and never retains it.
+func (b *Batch) CtxsInto(dst []int) []int {
+	dst = dst[:0]
+	for _, r := range b.Reqs {
+		dst = append(dst, r.CtxTokens())
 	}
-	return out
+	return dst
 }
 
 // TotalCtx returns the summed context length of the batch.
@@ -168,7 +176,14 @@ func (b *Batch) Add(r *Running) { b.Reqs = append(b.Reqs, r) }
 // Step credits one generated token to every request at time now,
 // removing and returning the requests that finished.
 func (b *Batch) Step(now sim.Time, rec *metrics.Recorder) []*Running {
-	var finished []*Running
+	return b.StepInto(now, rec, nil)
+}
+
+// StepInto is Step with a caller-owned result buffer: finished requests
+// are appended to dst (reusing its capacity) so per-iteration stepping
+// does not allocate.
+func (b *Batch) StepInto(now sim.Time, rec *metrics.Recorder, dst []*Running) []*Running {
+	finished := dst[:0]
 	keep := b.Reqs[:0]
 	for _, r := range b.Reqs {
 		r.Generated++

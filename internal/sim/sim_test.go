@@ -96,18 +96,18 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if e.Pending() {
+		t.Fatal("event still pending after cancel")
 	}
-	// Double cancel and nil cancel must be no-ops.
+	// Double cancel and zero-handle cancel must be no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Handle{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, s.At(Time(i*10), func() { got = append(got, i) }))
@@ -298,5 +298,115 @@ func TestLoopStats(t *testing.T) {
 	s.Cancel(e1)
 	if st := s.Stats(); st.Canceled != 1 {
 		t.Fatalf("double cancel counted: %+v", st)
+	}
+}
+
+// Regression: a stale Handle whose pooled Event slot has been recycled
+// for an unrelated schedule must not cancel the new occupant, and must
+// not bump the cancel counter.
+func TestCancelRecycledSlotNoOp(t *testing.T) {
+	s := New()
+	stale := s.At(10, func() {})
+	s.Run() // fires; the slot returns to the free list
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+
+	// The next schedule reuses the slot stale points at.
+	fired := false
+	fresh := s.At(20, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("expected slot reuse: fresh=%p stale=%p", fresh.ev, stale.ev)
+	}
+	before := s.Stats()
+	s.Cancel(stale) // must be a no-op against the recycled slot
+	if !fresh.Pending() {
+		t.Fatal("stale cancel killed the recycled slot's new event")
+	}
+	if st := s.Stats(); st.Canceled != before.Canceled {
+		t.Fatalf("stale cancel counted: %+v", st)
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if st := s.Stats(); st.Fired != 2 || st.Canceled != 0 {
+		t.Fatalf("stats after stale cancel: %+v", st)
+	}
+}
+
+// A cancelled slot that gets recycled is equally immune to its old handle.
+func TestCancelTwiceAfterRecycle(t *testing.T) {
+	s := New()
+	h1 := s.At(10, func() {})
+	s.Cancel(h1)
+	h2 := s.At(10, func() {})
+	if h2.ev != h1.ev {
+		t.Fatalf("expected cancelled slot to be recycled")
+	}
+	s.Cancel(h1) // stale: must not cancel h2, must not count
+	if !h2.Pending() {
+		t.Fatal("stale cancel killed recycled event")
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// Property: Scheduled == Fired + Canceled + Pending at every observation
+// point, across random interleavings of schedules, cancels (valid, stale,
+// and double), and partial runs over the pooled loop.
+func TestPropertyLoopStatsConservation(t *testing.T) {
+	check := func(s *Sim) {
+		st := s.Stats()
+		if st.Scheduled != st.Fired+st.Canceled+int64(s.Pending()) {
+			t.Fatalf("conservation violated: %+v with %d pending", st, s.Pending())
+		}
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		var live []Handle
+		for op := 0; op < 400; op++ {
+			switch rng.IntN(4) {
+			case 0, 1: // schedule (closure and closure-free forms)
+				d := Time(rng.Int64N(int64(Millisecond)))
+				if op%2 == 0 {
+					live = append(live, s.After(d, func() {}))
+				} else {
+					live = append(live, s.AfterFunc(d, func(any) {}, nil))
+				}
+			case 2: // cancel a random handle — possibly stale or repeated
+				if len(live) > 0 {
+					s.Cancel(live[rng.IntN(len(live))])
+				}
+			case 3: // advance time, firing a random prefix
+				s.RunUntil(s.Now() + Time(rng.Int64N(int64(Millisecond))))
+			}
+			check(s)
+		}
+		s.Run()
+		check(s)
+		if st := s.Stats(); s.Pending() != 0 && st.Fired == 0 {
+			t.Fatalf("run left events pending: %+v", st)
+		}
+	}
+}
+
+// AtFunc must dispatch with its bound argument and order identically to At.
+func TestAtFuncOrderingAndArg(t *testing.T) {
+	s := New()
+	var order []int
+	record := func(arg any) { order = append(order, arg.(int)) }
+	s.AtFunc(30, record, 3)
+	s.At(10, func() { order = append(order, 1) })
+	s.AtFunc(20, record, 2)
+	s.AtFunc(20, record, 4) // same time: insertion order breaks the tie
+	s.Run()
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
 	}
 }

@@ -33,6 +33,12 @@ type Engine struct {
 	active  *job
 	queue   []*job
 	pending []*workload.Request
+
+	// burstN is the layer count of the prefill burst on the device (one
+	// launch at a time, guarded by busy); the slices are reused scratch.
+	burstN     int
+	ctxScratch []int
+	finScratch []*serve.Running
 }
 
 type job struct {
@@ -114,40 +120,50 @@ func (e *Engine) step() {
 // runDecodeThenLayers launches one decode iteration followed by a layer
 // burst sized to the TBT slack.
 func (e *Engine) runDecodeThenLayers() {
-	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.env.GPUs)
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
+	cost := e.env.Arch.DecodeIter(e.ctxScratch, e.env.GPUs)
 	e.busy = true
-	e.part.Launch(gpu.Kernel{
+	e.part.LaunchFn(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
-	}, func() {
-		now := e.env.Sim.Now()
-		e.busy = false
-		finished := e.decode.Step(now, e.env.Rec)
-		for _, r := range finished {
-			r.Complete(e.pool)
+	}, decodeDone, e)
+}
+
+// decodeDone / burstDone are the engine's bound completion callbacks:
+// the engine rides as the event argument, so steady-state iterations
+// allocate no closures.
+func decodeDone(arg any) { arg.(*Engine).onDecodeDone() }
+
+func burstDone(arg any) { arg.(*Engine).onBurstDone() }
+
+func (e *Engine) onDecodeDone() {
+	now := e.env.Sim.Now()
+	e.busy = false
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	for _, r := range e.finScratch {
+		r.Complete(e.pool)
+	}
+	e.admit()
+	// Slack for prefill layers before the next decode must start.
+	if e.active != nil {
+		sms := e.env.Spec.SMs
+		dLat := e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), sms)
+		slack := e.env.SLO.TBT - dLat - e.env.Spec.GraphLaunch
+		layer := e.est.PrefillPhase([]model.Seq{e.active.seq}, sms) / sim.Time(e.env.Arch.Layers)
+		n := 0
+		if layer > 0 && slack > 0 {
+			n = int(slack / layer)
 		}
-		e.admit()
-		// Slack for prefill layers before the next decode must start.
-		if e.active != nil {
-			sms := e.env.Spec.SMs
-			dLat := e.est.DecodeSolo(e.decode.TotalCtx(), e.decode.Size(), sms)
-			slack := e.env.SLO.TBT - dLat - e.env.Spec.GraphLaunch
-			layer := e.est.PrefillPhase([]model.Seq{e.active.seq}, sms) / sim.Time(e.env.Arch.Layers)
-			n := 0
-			if layer > 0 && slack > 0 {
-				n = int(slack / layer)
-			}
-			if e.decode.Size() == 0 {
-				n = e.env.Arch.Layers - e.active.layersDone
-			}
-			if n > 0 {
-				e.runLayers(n)
-				return
-			}
+		if e.decode.Size() == 0 {
+			n = e.env.Arch.Layers - e.active.layersDone
 		}
-		e.step()
-	})
+		if n > 0 {
+			e.runLayers(n)
+			return
+		}
+	}
+	e.step()
 }
 
 func (e *Engine) runLayers(n int) {
@@ -162,19 +178,23 @@ func (e *Engine) runLayers(n int) {
 	layer := e.env.Arch.PrefillLayer([]model.Seq{j.seq}, e.env.GPUs, true)
 	burst := layer.Scale(float64(n))
 	e.busy = true
-	e.part.Launch(gpu.Kernel{
+	e.burstN = n
+	e.part.LaunchFn(gpu.Kernel{
 		Label: "prefill-burst", Kind: gpu.Prefill,
 		FLOPs: burst.FLOPs, Bytes: burst.Bytes, CommBytes: burst.CommBytes,
 		Tokens: layer.Tokens,
 		Launch: sim.Time(n) * e.env.Spec.LayerLaunch,
-	}, func() {
-		e.busy = false
-		j.layersDone += n
-		if j.layersDone >= e.env.Arch.Layers {
-			e.finishPrefill(j)
-		}
-		e.step()
-	})
+	}, burstDone, e)
+}
+
+func (e *Engine) onBurstDone() {
+	e.busy = false
+	j := e.active
+	j.layersDone += e.burstN
+	if j.layersDone >= e.env.Arch.Layers {
+		e.finishPrefill(j)
+	}
+	e.step()
 }
 
 func (e *Engine) finishPrefill(j *job) {

@@ -32,6 +32,12 @@ type Engine struct {
 	queue         []*serve.Running
 	merging       []*serve.Running
 	pending       []*workload.Request
+
+	// pInFlight is the prefill on the device (one at a time, guarded by
+	// prefillBusy); the slices are reused scratch.
+	pInFlight  *serve.Running
+	ctxScratch []int
+	finScratch []*serve.Running
 }
 
 // New builds a WindServe-style engine.
@@ -89,20 +95,39 @@ func (e *Engine) startDecode() {
 	if e.decodeRunning || e.decode.Size() == 0 {
 		return
 	}
-	cost := e.env.Arch.DecodeIter(e.decode.Ctxs(), e.env.GPUs)
+	e.ctxScratch = e.decode.CtxsInto(e.ctxScratch)
+	cost := e.env.Arch.DecodeIter(e.ctxScratch, e.env.GPUs)
 	e.decodeRunning = true
-	e.decodeS.Launch(gpu.Kernel{
+	e.decodeS.LaunchFn(gpu.Kernel{
 		Label: "decode", Kind: gpu.Decode,
 		FLOPs: cost.FLOPs, Bytes: cost.Bytes, CommBytes: cost.CommBytes,
 		Tokens: cost.Tokens, Launch: e.env.Spec.GraphLaunch,
-	}, e.onDecodeDone)
+	}, decodeDone, e)
+}
+
+// decodeDone / prefillDone are the engine's bound completion callbacks:
+// the engine rides as the event argument, so steady-state iterations
+// allocate no closures.
+func decodeDone(arg any) { arg.(*Engine).onDecodeDone() }
+
+func prefillDone(arg any) {
+	e := arg.(*Engine)
+	run := e.pInFlight
+	e.pInFlight = nil
+	e.prefillBusy = false
+	if e.decodeRunning {
+		e.merging = append(e.merging, run)
+	} else {
+		e.mergeOne(run)
+	}
+	e.schedule()
 }
 
 func (e *Engine) onDecodeDone() {
 	now := e.env.Sim.Now()
 	e.decodeRunning = false
-	finished := e.decode.Step(now, e.env.Rec)
-	for _, r := range finished {
+	e.finScratch = e.decode.StepInto(now, e.env.Rec, e.finScratch)
+	for _, r := range e.finScratch {
 		r.Complete(e.pool)
 	}
 	for _, r := range e.merging {
@@ -140,18 +165,11 @@ func (e *Engine) startPrefill() {
 	}
 	phase := e.env.Arch.PrefillPhase([]model.Seq{{New: newTok, Reused: run.CachedTokens}}, e.env.GPUs)
 	e.prefillBusy = true
-	e.prefillS.Launch(gpu.Kernel{
+	e.pInFlight = run
+	e.prefillS.LaunchFn(gpu.Kernel{
 		Label: "prefill-phase", Kind: gpu.Prefill,
 		FLOPs: phase.FLOPs, Bytes: phase.Bytes, CommBytes: phase.CommBytes,
 		Tokens: phase.Tokens,
 		Launch: sim.Time(e.env.Arch.Layers) * e.env.Spec.LayerLaunch,
-	}, func() {
-		e.prefillBusy = false
-		if e.decodeRunning {
-			e.merging = append(e.merging, run)
-		} else {
-			e.mergeOne(run)
-		}
-		e.schedule()
-	})
+	}, prefillDone, e)
 }
