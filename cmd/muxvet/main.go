@@ -1,0 +1,117 @@
+// Command muxvet is this repository's determinism/pooling checker: a
+// multichecker over the hand-rolled analyzers in internal/vet, usable
+// both as a `go vet -vettool` backend and directly.
+//
+// Usage:
+//
+//	muxvet -list                 print the analyzer roster
+//	muxvet [packages]            shorthand for go vet -vettool=muxvet [packages]
+//	go vet -vettool=$(which muxvet) ./...
+//
+// As a vettool, cmd/go drives muxvet once per package with a vet.cfg
+// describing sources and export data; muxvet also answers the -V=full
+// build-ID handshake and the -flags query that protocol requires.
+// Diagnostics print as file:line:col with a [muxvet:analyzer] tag;
+// under GitHub Actions they are additionally emitted as ::error
+// workflow annotations.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"muxwise/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	if len(args) > 0 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			return printVersion(out)
+		case args[0] == "-flags":
+			// The go vet driver asks for our flag schema; muxvet's
+			// behaviour is all in the analyzers, so there are none.
+			fmt.Fprintln(out, "[]")
+			return 0
+		case args[0] == "-list" || args[0] == "list":
+			printRoster(out)
+			return 0
+		}
+		if strings.HasSuffix(args[len(args)-1], ".cfg") {
+			// Invoked by cmd/go as a vettool on one package unit.
+			return vet.RunUnit(args[len(args)-1], vet.Analyzers())
+		}
+	}
+	// Convenience mode: muxvet [packages] re-execs the go vet driver
+	// pointed back at this binary, which handles package loading,
+	// build caching, and export data.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// printRoster writes the analyzer list with one-line docs, so CI logs
+// and contributors can see what is enforced without reading source.
+func printRoster(out io.Writer) {
+	fmt.Fprintln(out, "muxvet enforces this repository's determinism, pooling, and hot-path invariants:")
+	fmt.Fprintln(out)
+	for _, a := range vet.Analyzers() {
+		fmt.Fprintf(out, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "exemptions: //muxvet:allow <analyzer> <reason>   //muxvet:ordered <reason>")
+	fmt.Fprintln(out, "run:        go vet -vettool=$(which muxvet) ./...")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion answers the -V=full handshake cmd/go uses to derive a
+// stable build ID for vet result caching: the content hash of this
+// binary, in the "devel ... buildID=" form cmd/go parses.
+func printVersion(out io.Writer) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "muxvet version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}

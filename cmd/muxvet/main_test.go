@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"muxwise/internal/vet"
+)
+
+func TestListRoster(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-list"}, &buf); code != 0 {
+		t.Fatalf("muxvet -list exited %d", code)
+	}
+	out := buf.String()
+	for _, a := range vet.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+	for _, needle := range []string{"//muxvet:allow", "//muxvet:ordered", "go vet -vettool="} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("-list output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestVersionHandshake checks the -V=full reply parses the way
+// cmd/go's vet driver expects: "name version ... buildID=<hex>".
+func TestVersionHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-V=full"}, &buf); code != 0 {
+		t.Fatalf("muxvet -V=full exited %d", code)
+	}
+	re := regexp.MustCompile(`^muxvet version devel buildID=[0-9a-f]{64}\n$`)
+	if !re.MatchString(buf.String()) {
+		t.Errorf("-V=full output %q does not match %s", buf.String(), re)
+	}
+}
+
+func TestFlagsQuery(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-flags"}, &buf); code != 0 {
+		t.Fatalf("muxvet -flags exited %d", code)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("-flags output = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestGoVetSeededViolation is the end-to-end proof behind the CI lint
+// gate: build muxvet, point `go vet -vettool` at a module (named
+// muxwise, so the classifier engages) seeded with a wallclock
+// violation, and demand failure; then demand that a reasoned
+// //muxvet:allow exemption turns the same tree green.
+func TestGoVetSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go not on PATH")
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "muxvet")
+	build := exec.Command(goBin, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building muxvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(filepath.Join(mod, "internal", "core"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module muxwise\n\ngo 1.24\n")
+
+	bad := `package core
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+	writeFile(t, filepath.Join(mod, "internal", "core", "core.go"), bad)
+	out, err := runGoVet(t, goBin, tool, mod)
+	if err == nil {
+		t.Fatalf("go vet passed on a seeded wallclock violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now reads the wall clock") || !strings.Contains(out, "muxvet:wallclock") {
+		t.Fatalf("go vet failed but without the expected wallclock diagnostic:\n%s", out)
+	}
+
+	exempt := `package core
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //muxvet:allow wallclock test fixture anchors to a wall-clock base
+}
+`
+	writeFile(t, filepath.Join(mod, "internal", "core", "core.go"), exempt)
+	out, err = runGoVet(t, goBin, tool, mod)
+	if err != nil {
+		t.Fatalf("go vet failed on an exempted tree: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runGoVet(t *testing.T, goBin, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GOWORK=off", "GITHUB_ACTIONS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}

@@ -290,12 +290,13 @@ func (e *Estimator) nearestConfig(m map[int]planes, sms int) planes {
 		return th
 	}
 	best, bestDiff := 0, math.MaxInt
+	//muxvet:ordered equal distances tie-break to the smaller SM count, so the scan is order-independent
 	for k := range m {
 		d := k - sms
 		if d < 0 {
 			d = -d
 		}
-		if d < bestDiff {
+		if d < bestDiff || (d == bestDiff && k < best) {
 			best, bestDiff = k, d
 		}
 	}

@@ -416,10 +416,15 @@ func Compare(got, want *Report, tol Tolerance) []string {
 			}
 		}
 	}
+	missing := make([]string, 0, len(wantCells))
 	for k := range wantCells {
 		if !seen[k] {
-			addf("cell %s: in golden but not produced", k)
+			missing = append(missing, k)
 		}
+	}
+	sort.Strings(missing)
+	for _, k := range missing {
+		addf("cell %s: in golden but not produced", k)
 	}
 
 	for _, wf := range want.Frontiers {

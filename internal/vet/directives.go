@@ -1,0 +1,167 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //muxvet: comment.
+//
+//	//muxvet:allow <analyzer> <reason...>   exempt one analyzer
+//	//muxvet:ordered <reason...>            exempt maprange specifically
+//
+// A trailing directive (sharing its line with code) covers exactly its
+// own line; a directive on a line of its own covers exactly the next
+// line. The reason is mandatory: a directive without one suppresses
+// nothing and is itself reported by the directive analyzer.
+type directive struct {
+	pos      token.Pos
+	posn     token.Position
+	verb     string
+	analyzer string // allow only
+	reason   string
+	errMsg   string // non-empty when malformed; malformed directives never suppress
+	ownLine  bool   // comment is alone on its line (covers the next line)
+}
+
+// coveredLine returns the line this directive exempts.
+func (d *directive) coveredLine() int {
+	if d.ownLine {
+		return d.posn.Line + 1
+	}
+	return d.posn.Line
+}
+
+type directiveSet struct {
+	all []*directive
+	// byFileLine indexes well-formed directives by covered (file, line).
+	byFileLine map[string]map[int][]*directive
+}
+
+const directivePrefix = "//muxvet:"
+
+// parseDirectives scans every comment in files for //muxvet:
+// directives. Files must have been parsed with parser.ParseComments.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byFileLine: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		codeLines := codeLineSet(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := parseDirective(c.Text[len(directivePrefix):])
+				d.pos = c.Pos()
+				d.posn = fset.Position(c.Pos())
+				d.ownLine = !codeLines[d.posn.Line]
+				ds.all = append(ds.all, d)
+				if d.errMsg == "" {
+					file := d.posn.Filename
+					if ds.byFileLine[file] == nil {
+						ds.byFileLine[file] = make(map[int][]*directive)
+					}
+					line := d.coveredLine()
+					ds.byFileLine[file][line] = append(ds.byFileLine[file][line], d)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// parseDirective parses the text after "//muxvet:".
+func parseDirective(rest string) *directive {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return &directive{errMsg: "empty //muxvet: directive (expected //muxvet:allow <analyzer> <reason> or //muxvet:ordered <reason>)"}
+	}
+	d := &directive{verb: fields[0]}
+	switch d.verb {
+	case "allow":
+		if len(fields) < 2 || !byName()[fields[1]] {
+			d.errMsg = fmt.Sprintf("//muxvet:allow needs a known analyzer name (one of %s)", strings.Join(analyzerNames(), ", "))
+			return d
+		}
+		d.analyzer = fields[1]
+		if len(fields) < 3 {
+			d.errMsg = fmt.Sprintf("//muxvet:allow %s requires a reason", d.analyzer)
+			return d
+		}
+		d.reason = strings.Join(fields[2:], " ")
+	case "ordered":
+		if len(fields) < 2 {
+			d.errMsg = "//muxvet:ordered requires a reason"
+			return d
+		}
+		d.reason = strings.Join(fields[1:], " ")
+	default:
+		d.errMsg = fmt.Sprintf("unknown directive //muxvet:%s (valid: allow, ordered)", d.verb)
+	}
+	return d
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// suppresses reports whether a well-formed directive covers d.
+func (ds *directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range ds.byFileLine[d.Pos.Filename][d.Pos.Line] {
+		switch dir.verb {
+		case "allow":
+			if dir.analyzer == d.Analyzer {
+				return true
+			}
+		case "ordered":
+			if d.Analyzer == MapRange.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// codeLineSet returns the set of lines in f that carry non-comment
+// tokens, so a trailing directive can be told apart from one on a line
+// of its own.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Directive validates the //muxvet: exemption comments themselves.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc: "validate //muxvet:allow and //muxvet:ordered exemption directives (reason mandatory)\n\n" +
+		"Every exemption must name a known analyzer (for allow) and carry a\n" +
+		"non-empty reason. A malformed directive suppresses nothing and is\n" +
+		"reported here, so a bare //muxvet:allow can never silently disable\n" +
+		"a check.",
+	Run: func(p *Pass) error {
+		ds := parseDirectives(p.Fset, p.Files)
+		for _, d := range ds.all {
+			if d.errMsg != "" {
+				p.Reportf(d.pos, "%s", d.errMsg)
+			}
+		}
+		return nil
+	},
+}

@@ -1,0 +1,51 @@
+// Directive semantics: a well-formed exemption suppresses exactly one
+// line for exactly one analyzer; malformed directives suppress nothing
+// and are themselves diagnostics.
+package core
+
+import "time"
+
+//muxvet:frobnicate because reasons
+// want-prev `unknown directive //muxvet:frobnicate`
+
+//muxvet:allow nosuchanalyzer some reason
+// want-prev `//muxvet:allow needs a known analyzer name`
+
+func suppressExactlyOne() (int64, int64) {
+	a := time.Now().UnixNano() //muxvet:allow wallclock replay anchors to a wall-clock base
+	b := time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	return a, b
+}
+
+func orderedSuppressesNextLine(m map[string]int) []string {
+	var a, b []string
+	//muxvet:ordered downstream consumer reconciles collection order
+	for k := range m {
+		a = append(a, k)
+	}
+	for k := range m { // want `appends to b`
+		b = append(b, k)
+	}
+	return append(a, b...)
+}
+
+func orderedDoesNotCoverOtherAnalyzers() int64 {
+	//muxvet:ordered a maprange exemption must not silence wallclock
+	t := time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	return t
+}
+
+func missingOrderedReason(m map[string]int) []string {
+	var out []string
+	for k := range m { //muxvet:ordered
+		// want-prev `//muxvet:ordered requires a reason` `appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func missingAllowReason() int64 {
+	t := time.Now().UnixNano() //muxvet:allow wallclock
+	// want-prev `//muxvet:allow wallclock requires a reason` `time\.Now reads the wall clock`
+	return t
+}

@@ -1,0 +1,9 @@
+// cluster is simulation-critical but not a pooled hot-path package:
+// closures at scheduling seams are a non-issue here.
+package cluster
+
+import "muxwise/internal/sim"
+
+func scheduleSetup(s *sim.Sim, t sim.Time, n *int) {
+	s.At(t, func() { *n++ })
+}

@@ -1,0 +1,65 @@
+// Positive and negative cases for the hotclosure analyzer in a pooled
+// hot-path package.
+package gpu
+
+import (
+	"fmt"
+
+	"muxwise/internal/sim"
+)
+
+type payload struct{ a, b int64 }
+
+type Device struct {
+	sim  *sim.Sim
+	name string
+}
+
+func tickFn(arg any) {}
+
+func (d *Device) step() {}
+
+func (d *Device) scheduleClosure(t sim.Time) {
+	d.sim.At(t, func() { d.step() }) // want `closure literal passed to \(\*muxwise/internal/sim\.Sim\)\.At`
+}
+
+func (d *Device) scheduleAfterClosure(t sim.Time) {
+	d.sim.After(t, func() { d.step() }) // want `closure literal passed to \(\*muxwise/internal/sim\.Sim\)\.After`
+}
+
+func (d *Device) scheduleBound(t sim.Time) {
+	d.sim.AtFunc(t, tickFn, d) // closure-free seam with a pointer arg: no allocation
+}
+
+func (d *Device) scheduleBoxed(t sim.Time, p payload) {
+	d.sim.AtFunc(t, tickFn, p) // want `struct value p boxed into interface parameter`
+}
+
+type Kernel struct{ flops float64 }
+
+type Partition struct{}
+
+func (p *Partition) Launch(k Kernel, done func())               {}
+func (p *Partition) LaunchFn(k Kernel, done func(any), arg any) {}
+
+func (d *Device) launchClosure(p *Partition, k Kernel) {
+	p.Launch(k, func() { d.step() }) // want `closure literal passed to \(\*muxwise/internal/gpu\.Partition\)\.Launch`
+}
+
+func (d *Device) launchBound(p *Partition, k Kernel) {
+	p.LaunchFn(k, tickFn, d)
+}
+
+func (d *Device) describe() string {
+	return fmt.Sprintf("device %s", d.name) // want `fmt\.Sprintf allocates on a pooled hot path`
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("device %s", d.name) // cold formatting method: allowed
+}
+
+func (d *Device) mustStep(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("gpu: bad step %d", n)) // terminal panic: allowed
+	}
+}

@@ -1,0 +1,15 @@
+// Scheduling events in map order permutes the event loop's
+// (time, seq) tie-break — the highest-stakes maprange trigger.
+package cluster
+
+import "muxwise/internal/sim"
+
+type waiter struct{ when sim.Time }
+
+func tick() {}
+
+func scheduleAll(s *sim.Sim, pending map[int]waiter) {
+	for _, w := range pending { // want `schedules events \(At\)`
+		s.At(w.when, tick)
+	}
+}

@@ -1,0 +1,85 @@
+// Positive and negative cases for the maprange analyzer in a
+// simulation-critical package.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map m appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // forgiven: keys is sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates floating-point total`
+		total += v
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer addition is associative: order-independent
+		total += v
+	}
+	return total
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want `writes output \(fmt\.Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+func pickBest(m map[string]float64) string {
+	best, bestScore := "", -1.0
+	for k, v := range m { // want `selects an extremum into best`
+		if v > bestScore {
+			best, bestScore = k, v
+		}
+	}
+	return best
+}
+
+func anyNegative(m map[string]float64) bool {
+	found := false
+	for _, v := range m { // idempotent flag set: order-independent, not flagged
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+func viaClosure(m map[string]int, emit func(string)) {
+	for k := range m { // want `calls through function value emit`
+		emit(k)
+	}
+}
+
+func sendAll(m map[string]int, ch chan<- int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+func perKeyWrite(dst, src map[string]int) {
+	for k, v := range src { // keyed by the range key itself: order-independent
+		dst[k] = v
+	}
+}

@@ -1,0 +1,15 @@
+// Pooled records must not escape their home package: the pool recycles
+// the slot under any foreign holder. Handles are the sanctioned form.
+package cluster
+
+import "muxwise/internal/sim"
+
+type badTracker struct {
+	ev *sim.Event // want `pooled record sim\.Event must not be retained outside`
+}
+
+type goodTracker struct {
+	h sim.Handle // generation-checked handle: fine
+}
+
+func pending(g goodTracker) bool { return g.h.Pending() }

@@ -1,0 +1,74 @@
+// Minimal mirror of the pooled event loop, exercising poolsafety's
+// home-package rules: use-after-release and unguarded slot access.
+package sim
+
+type Time int64
+
+type Event struct {
+	at  Time
+	gen uint32
+}
+
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
+
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+func (h Handle) At() Time {
+	if !h.Pending() {
+		return 0
+	}
+	return h.ev.at // guarded by Pending on the same receiver
+}
+
+func (h Handle) BadAt() Time {
+	return h.ev.at // want `h\.ev accessed without a generation check`
+}
+
+type Sim struct {
+	free []*Event
+}
+
+func (s *Sim) alloc(t Time) *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{at: t}
+}
+
+func (s *Sim) release(e *Event) {
+	e.gen++
+	s.free = append(s.free, e)
+}
+
+func (s *Sim) Cancel(h Handle) {
+	if !h.Pending() {
+		return
+	}
+	h.ev.gen++ // guarded by Pending above
+}
+
+func (s *Sim) useAfterRelease(e *Event) {
+	s.release(e)
+	e.at = 0 // want `e is used after being released`
+}
+
+func (s *Sim) releaseLast(e *Event) {
+	e.at = 0
+	s.release(e) // release is the last use: fine
+}
+
+func (s *Sim) reuseAfterRealloc(e *Event, t Time) Time {
+	s.release(e)
+	e = s.alloc(t)
+	return e.at // e was re-bound to a fresh slot: fine
+}
+
+func (s *Sim) freeListDirect(e *Event) {
+	s.free = append(s.free, e)
+	_ = e.at // want `e is used after being released`
+}

@@ -1,0 +1,12 @@
+// cmd packages are not simulation-critical: wall-clock reads are fine
+// here (progress logging, timeouts for the operator).
+package main
+
+import "time"
+
+func wallElapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func main() { _ = wallElapsed() }

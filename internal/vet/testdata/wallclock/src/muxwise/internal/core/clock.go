@@ -1,0 +1,47 @@
+// Positive and negative cases for the wallclock analyzer in a
+// simulation-critical package.
+package core
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock`
+}
+
+func badTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `time\.NewTicker reads the wall clock`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `package-level rand\.Intn draws from the process-global generator`
+}
+
+func badGlobalRandV2() uint64 {
+	return randv2.Uint64() // want `package-level rand\.Uint64 draws from the process-global generator`
+}
+
+func goodSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() // methods on a seeded *rand.Rand are fine
+}
+
+func goodSeededV2(s1, s2 uint64) float64 {
+	r := randv2.New(randv2.NewPCG(s1, s2))
+	return r.Float64()
+}
+
+func goodDurationMath(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond // constants and arithmetic, no clock read
+}

@@ -1,0 +1,168 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// UnitConfig mirrors the JSON that cmd/go writes to each package's
+// vet.cfg when driving a -vettool (see cmd/go/internal/work.vetConfig).
+// The stock vet tool consumes this through x/tools' unitchecker; this
+// repo has no external dependencies, so muxvet speaks the protocol
+// directly with a stdlib importer over the export data cmd/go already
+// built.
+type UnitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers over the single package described by the
+// vet.cfg at cfgPath and returns the process exit code: 0 clean, 1
+// diagnostics found, 2 internal error. Diagnostics go to stderr in the
+// usual file:line:col form; when GITHUB_ACTIONS is set they are also
+// emitted as workflow error annotations on stdout.
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	// muxvet's analyzers export no facts, but cmd/go caches the vetx
+	// output file, so always leave an (empty) one behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "muxvet: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		Error:     func(error) {}, // keep going; the final error decides
+	}
+	info := NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "muxvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, err := Analyze(&Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "muxvet: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	workspace := os.Getenv("GITHUB_WORKSPACE")
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+		if annotate {
+			file := d.Pos.Filename
+			if workspace != "" {
+				if rel, err := filepath.Rel(workspace, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			fmt.Fprintf(os.Stdout, "::error file=%s,line=%d,col=%d::muxvet %s: %s\n",
+				file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	return 1
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func readUnitConfig(path string) (*UnitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,225 @@
+// Package vettest is a minimal analysistest-style harness for muxvet's
+// hand-rolled analyzers.
+//
+// A test tree lives under testdata/<suite>/src/<import/path>/*.go,
+// mirroring the golang.org/x/tools/go/analysis/analysistest layout.
+// Expectations are written as comments on the offending line:
+//
+//	t := time.Now() // want `time\.Now`
+//
+// Each backquoted or double-quoted token after "want" is a regular
+// expression that must match one diagnostic message reported on that
+// line. Lines without a want comment must be diagnostic-free. When the
+// offending line cannot carry another comment (it already ends in a
+// //muxvet: directive, and a line comment cannot follow another), the
+// expectation goes on the next line as "// want-prev".
+//
+// Stub packages inside the tree are resolved by import path within the
+// same tree; standard-library imports are typechecked from GOROOT
+// source. Stubs reuse the real module's import paths (for example
+// muxwise/internal/sim) so the package classifier is exercised
+// verbatim.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"muxwise/internal/vet"
+)
+
+// The fset, the GOROOT source importer, and loaded stubs are shared
+// process-wide: typechecking fmt/time from source is the slow part and
+// every suite reuses it.
+var (
+	mu     sync.Mutex
+	fset   = token.NewFileSet()
+	srcImp types.Importer
+	loads  = map[string]*loaded{}
+)
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+type stubImporter struct {
+	root string // testdata/<suite> directory containing src/
+}
+
+func (si stubImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(si.root, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		l := loadLocked(si.root, path)
+		return l.pkg, l.err
+	}
+	if srcImp == nil {
+		srcImp = importer.ForCompiler(fset, "source", nil)
+	}
+	return srcImp.Import(path)
+}
+
+// loadLocked parses and typechecks the package at import path under
+// root/src. mu must be held.
+func loadLocked(root, path string) *loaded {
+	key := root + "\x00" + path
+	if l, ok := loads[key]; ok {
+		return l
+	}
+	l := &loaded{}
+	loads[key] = l
+	dir := filepath.Join(root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.err = err
+		return l
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			l.err = err
+			return l
+		}
+		l.files = append(l.files, f)
+	}
+	if len(l.files) == 0 {
+		l.err = fmt.Errorf("no Go files in %s", dir)
+		return l
+	}
+	l.info = vet.NewInfo()
+	conf := types.Config{Importer: stubImporter{root: root}}
+	l.pkg, l.err = conf.Check(path, fset, l.files, l.info)
+	return l
+}
+
+// Run loads each package under root (an analysistest-style testdata
+// directory) and checks the analyzers' diagnostics against the // want
+// expectations in its sources.
+func Run(t *testing.T, root string, analyzers []*vet.Analyzer, paths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, path := range paths {
+		l := loadLocked(abs, path)
+		if l.err != nil {
+			t.Fatalf("loading %s: %v", path, l.err)
+		}
+		diags, err := vet.Analyze(&vet.Package{
+			Path:  path,
+			Fset:  fset,
+			Files: l.files,
+			Types: l.pkg,
+			Info:  l.info,
+		}, analyzers)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		checkExpectations(t, path, l.files, diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantRE matches each quoted expectation after "want": backquoted or
+// double-quoted.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts // want and // want-prev expectations.
+func parseWants(t *testing.T, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var body string
+				lineDelta := 0
+				switch {
+				case strings.HasPrefix(text, "// want-prev "):
+					body = text[len("// want-prev "):]
+					lineDelta = -1
+				case strings.HasPrefix(text, "// want "):
+					body = text[len("// want "):]
+				default:
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				matches := wantRE.FindAllString(body, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", posn, text)
+				}
+				for _, m := range matches {
+					pat := m[1 : len(m)-1]
+					if m[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line + lineDelta, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, path string, files []*ast.File, diags []vet.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				w.hit = true
+				break
+			}
+		}
+	}
+	var problems []string
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		t.Errorf("package %s:\n  %s", path, strings.Join(problems, "\n  "))
+	}
+}

@@ -1,0 +1,73 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTimeFuncs reach the wall clock (or the runtime timer heap,
+// which is driven by it). Using time.Duration constants and arithmetic
+// is fine — only reading or waiting on real time is not.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRandFuncs construct explicitly seeded sources; everything
+// else at package level draws from the process-global generator.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Wallclock forbids wall-clock time and process-global randomness in
+// simulation-critical packages.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since and unseeded math/rand in simulation-critical packages\n\n" +
+		"Byte-identical replay is the contract behind the frontier goldens and\n" +
+		"TestTraceDeterminism. Virtual time must come from the event loop\n" +
+		"(sim.Sim.Now); randomness must come from an explicitly seeded\n" +
+		"*rand.Rand. Methods on a seeded *rand.Rand and the rand.New* source\n" +
+		"constructors are allowed; package-level rand functions and every\n" +
+		"wall-clock read are not.",
+	Run: runWallclock,
+}
+
+func runWallclock(p *Pass) error {
+	if !IsSimCritical(p.Path) {
+		return nil
+	}
+	for _, f := range p.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch p.importedPkg(sel.X) {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in simulation-critical package %q; virtual time must come from the event loop (sim.Sim.Now)",
+						sel.Sel.Name, p.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := p.objectOf(sel.Sel).(*types.Func); isFunc && !allowedRandFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "package-level rand.%s draws from the process-global generator in simulation-critical package %q; use a *rand.Rand with an explicit seed (rand.New)",
+						sel.Sel.Name, p.Path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
