@@ -12,7 +12,11 @@
 // The -replicas grammar is COUNTxENGINE[:ROLE][@GPUS][/HW],
 // comma-separated: "2xSGLang-PD:prefill@2/H100" runs two SGLang-PD
 // replicas tagged prefill-heavy with 2 H100s each. -router all compares
-// every policy on the same trace.
+// every policy on the same trace. -router also accepts an inline
+// "epp:" composition spec assembling a filter → scorer → picker
+// pipeline from config:
+//
+//	muxcluster -router "epp:scorers=prefix:2,least-tokens:1"
 //
 // Scenarios exercise the lifecycle-managed fleet: "failure" crashes
 // replica 0 mid-run (in-flight and sticky-session requests re-route and
@@ -416,7 +420,7 @@ func runGoodput(rng string, routers []string, specs []muxwise.ReplicaSpec, sc sc
 func main() {
 	replicas := flag.String("replicas", "4xMuxWise", "fleet spec: COUNTxENGINE[:ROLE][@GPUS][/HW],...")
 	router := flag.String("router", "prefix-affinity",
-		"router policy ("+strings.Join(muxwise.RouterPolicies(), ", ")+") or 'all'")
+		"router policy ("+strings.Join(muxwise.RouterPolicies(), ", ")+"), 'all', or an inline 'epp:' composition spec")
 	scenario := flag.String("scenario", "", "fleet scenario: autoscale, drain, failure, or hetero")
 	failAt := flag.Duration("fail-at", time.Minute, "failure scenario: when replica 0 crashes")
 	drainAt := flag.Duration("drain-at", time.Minute, "drain scenario: when replica 0 drains (its replacement spawns ahead)")

@@ -23,6 +23,18 @@ func main() {
 	// Mixed bursty traffic: both Fig. 13 profiles interleaved.
 	mk := func() *muxwise.Trace { return muxwise.MixedBursty(21, 60, 0.25) }
 
+	// A config-only policy: the same filter → scorer → picker pipeline
+	// the built-ins are made of, composed from a spec string and
+	// registered under a short name — it shows up in RouterPolicies()
+	// and the comparison below like any built-in.
+	composed, err := muxwise.ComposedRouter("epp:scorers=prefix:2,least-tokens:1")
+	if err != nil {
+		panic(err)
+	}
+	if err := muxwise.RegisterRouter("prefix-weighted", composed); err != nil {
+		panic(err)
+	}
+
 	base := muxwise.Deployment{
 		Hardware: "A100", GPUs: 1, Model: "Llama-8B",
 		SLO: muxwise.SLO{TTFT: muxwise.Second, TBT: 50 * muxwise.Millisecond},

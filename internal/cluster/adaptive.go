@@ -1,30 +1,10 @@
 package cluster
 
 import (
-	"muxwise/internal/kvcache"
-	"muxwise/internal/sim"
-	"muxwise/internal/workload"
+	"muxwise/internal/cluster/epp"
 )
 
-// adaptiveAlpha is the EWMA smoothing factor: ~the last dozen
-// observations dominate a replica's learned first-token latency, fast
-// enough to track a Fig. 13 burst and slow enough to ride out one
-// outlier.
-const adaptiveAlpha = 0.2
-
-// adaptiveTTFTFloor (seconds) keeps scores positive and makes
-// never-observed replicas maximally attractive, so the policy explores
-// every replica before trusting its learned ranking.
-const adaptiveTTFTFloor = 0.005
-
-// adaptiveLoadScale (tokens) converts outstanding work into a latency
-// multiplier: a replica carrying adaptiveLoadScale outstanding tokens is
-// expected to double its observed TTFT. It deliberately matches the
-// overload guard's slack so the two mechanisms agree on what "loaded"
-// means.
-const adaptiveLoadScale = 8192
-
-// adaptiveTTFT is the reference learned policy shipped through the
+// AdaptiveTTFT is the reference learned policy shipped through the
 // plugin seam: it keeps multi-turn sessions sticky to their KV holder
 // (like prefix-affinity) but scores cold and diverted requests by an
 // EWMA of each replica's observed TTFT, inflated by its outstanding
@@ -32,84 +12,25 @@ const adaptiveLoadScale = 8192
 // are emitted, so a replica that slows down — saturated, cold-started,
 // or simply on weaker hardware — loses traffic within a dozen requests,
 // and a fast replica earns a proportionally deeper queue.
-type adaptiveTTFT struct {
-	aff  *affinity
-	ewma map[int]float64 // replica ID -> learned TTFT, seconds
-}
-
-// AdaptiveTTFT routes by learned per-replica TTFT with session affinity.
+//
+// Composition: the same affinity classifier as prefix-affinity
+// (sticky / divert / cold), with the scored profiles ranking by the
+// learned TTFT prediction then least outstanding tokens. The TTFT
+// scorer doubles as the pipeline's TTFTObserver/DownObserver state, so
+// observations and replica deaths reach it through the ordinary
+// observer fan-out.
 func AdaptiveTTFT() Router {
-	return &adaptiveTTFT{aff: newAffinity(), ewma: map[int]float64{}}
-}
-
-func (p *adaptiveTTFT) Name() string { return AdaptiveTTFTPolicy }
-
-// ObserveTTFT implements TTFTObserver.
-func (p *adaptiveTTFT) ObserveTTFT(replica int, ttft sim.Time) {
-	v := ttft.Seconds()
-	if old, ok := p.ewma[replica]; ok {
-		v = old + adaptiveAlpha*(v-old)
+	aff := epp.NewAffinity[*Replica]()
+	learned := epp.NewTTFTScorer[*Replica]()
+	ttftTiers := [][]epp.Weighted[*Replica]{
+		tier(learned),
+		tier(epp.LeastTokens[*Replica]()),
 	}
-	p.ewma[replica] = v
-}
-
-// ReplicaDown implements FleetObserver: the dead replica's sessions and
-// learned latency are forgotten together — a respawned ID starts over.
-func (p *adaptiveTTFT) ReplicaDown(id int) {
-	p.aff.replicaDown(id)
-	delete(p.ewma, id)
-}
-
-// SessionMigrated implements MigrationObserver: the pin follows the KV.
-func (p *adaptiveTTFT) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
-	p.aff.migrated(session, from, to, pages)
-}
-
-// score predicts the TTFT a request routed to rep would see: the learned
-// EWMA (floored, so unseen replicas win and get explored) scaled up by
-// the replica's outstanding work.
-func (p *adaptiveTTFT) score(rep *Replica) float64 {
-	base := adaptiveTTFTFloor
-	if v, ok := p.ewma[rep.ID]; ok && v > base {
-		base = v
+	profiles := []PipelineProfile{
+		{Name: "sticky", Filters: []epp.Filter[*Replica]{epp.StickySession(aff)}},
+		{Name: "divert", Filters: []epp.Filter[*Replica]{epp.Divert(aff, false)}, Scorers: ttftTiers},
+		{Name: "cold", Scorers: ttftTiers},
 	}
-	return base * (1 + float64(rep.outTokens)/adaptiveLoadScale)
-}
-
-// best returns the candidate with the lowest predicted TTFT (ties:
-// fewest outstanding tokens, then lowest ID — the candidate order).
-func (p *adaptiveTTFT) best(cands []*Replica) *Replica {
-	var best *Replica
-	var bestScore float64
-	for _, rep := range cands {
-		s := p.score(rep)
-		if best == nil || s < bestScore ||
-			(s == bestScore && rep.outTokens < best.outTokens) {
-			best, bestScore = rep, s
-		}
-	}
-	return best
-}
-
-func (p *adaptiveTTFT) Pick(r *workload.Request, view FleetView) *Replica {
-	fleet := view.Candidates
-	if len(fleet) == 0 {
-		// The cluster queues arrivals while nothing is routable, but a
-		// policy must also survive a direct Pick on an empty fleet (unit
-		// harnesses, external callers of the plugin seam).
-		return nil
-	}
-	rep := p.aff.sticky(r, fleet)
-	switch {
-	case rep == nil:
-		rep = p.best(fleet)
-	case overloaded(rep, fleet):
-		// Shed the session off its hot holder, scored by predicted TTFT
-		// rather than prefix match — the hot replica cannot win.
-		if cands := without(fleet, rep); len(cands) > 0 {
-			rep = p.best(cands)
-		}
-	}
-	p.aff.record(r, rep)
-	return rep
+	cl := epp.NewAffinityClassifier(aff, 0, 1, 2)
+	return NewPipelineRouter(epp.New(AdaptiveTTFTPolicy, cl, profiles, aff, learned))
 }

@@ -15,14 +15,26 @@ func coldReq(n int) *workload.Request {
 		Pages: pdPages(uint64(200+n), 800), AllPages: pdPages(uint64(200+n), 864)}
 }
 
+// observer extracts the TTFT-learning seam from a router; the adaptive
+// composition exposes it through the pipeline's observer fan-out.
+func observer(t *testing.T, r Router) TTFTObserver {
+	t.Helper()
+	obs, ok := r.(TTFTObserver)
+	if !ok {
+		t.Fatalf("%s does not implement TTFTObserver", r.Name())
+	}
+	return obs
+}
+
 func TestAdaptiveTTFTFollowsObservedLatency(t *testing.T) {
 	fleet := bareFleet(RoleGeneral, RoleGeneral)
-	r := AdaptiveTTFT().(*adaptiveTTFT)
+	r := AdaptiveTTFT()
+	obs := observer(t, r)
 
 	// Replica 0 has been slow, replica 1 fast: cold traffic must go to 1.
 	for i := 0; i < 5; i++ {
-		r.ObserveTTFT(0, 2*sim.Second)
-		r.ObserveTTFT(1, 50*sim.Millisecond)
+		obs.ObserveTTFT(0, 2*sim.Second)
+		obs.ObserveTTFT(1, 50*sim.Millisecond)
 	}
 	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[1] {
 		t.Fatalf("cold request routed to %s, want the learned-fast replica", got.Name)
@@ -38,17 +50,17 @@ func TestAdaptiveTTFTFollowsObservedLatency(t *testing.T) {
 
 func TestAdaptiveTTFTExploresUnseenReplicas(t *testing.T) {
 	fleet := bareFleet(RoleGeneral, RoleGeneral)
-	r := AdaptiveTTFT().(*adaptiveTTFT)
+	r := AdaptiveTTFT()
 	// Only replica 0 has ever been observed, and it was fast — but the
 	// never-observed replica 1 scores at the floor and must be explored.
-	r.ObserveTTFT(0, 100*sim.Millisecond)
+	observer(t, r).ObserveTTFT(0, 100*sim.Millisecond)
 	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[1] {
 		t.Fatal("unseen replica should be explored before trusting the ranking")
 	}
 }
 
 func TestAdaptiveTTFTEmptyFleet(t *testing.T) {
-	r := AdaptiveTTFT().(*adaptiveTTFT)
+	r := AdaptiveTTFT()
 	// A direct Pick on an empty candidate set must return nil, not panic
 	// — the cluster queues arrivals in that state, but the plugin seam
 	// does not promise callers a non-empty view.
@@ -72,7 +84,7 @@ func TestAdaptiveTTFTAllDrainingCandidates(t *testing.T) {
 	for _, rep := range fleet {
 		rep.State = StateDraining
 	}
-	r := AdaptiveTTFT().(*adaptiveTTFT)
+	r := AdaptiveTTFT()
 	got := r.Pick(coldReq(0), view(fleet))
 	if got != fleet[0] && got != fleet[1] {
 		t.Fatalf("pick returned %v, want a candidate", got)
@@ -80,23 +92,18 @@ func TestAdaptiveTTFTAllDrainingCandidates(t *testing.T) {
 }
 
 func TestAdaptiveTTFTSingleColdReplica(t *testing.T) {
-	// One never-observed replica: the EWMA map is empty, outstanding
-	// load is zero, and the score must still be a positive finite floor
-	// — no division by zero on the unseeded EWMA.
+	// One never-observed replica: the EWMA state is empty, outstanding
+	// load is zero, and the pick must still land — the floor keeps the
+	// prediction positive and finite with no observations at all.
 	fleet := bareFleet(RoleGeneral)
-	r := AdaptiveTTFT().(*adaptiveTTFT)
-	if s := r.score(fleet[0]); !(s > 0) {
-		t.Fatalf("cold replica score %v, want a positive floor", s)
-	}
+	r := AdaptiveTTFT()
 	if got := r.Pick(coldReq(0), view(fleet)); got != fleet[0] {
 		t.Fatal("single cold replica must win its own fleet")
 	}
 	// A zero-TTFT observation (first token at arrival) seeds the EWMA at
-	// zero; the floor must keep the score positive and the pick stable.
-	r.ObserveTTFT(0, 0)
-	if s := r.score(fleet[0]); !(s > 0) {
-		t.Fatalf("zero-seeded EWMA score %v, want the floor to hold", s)
-	}
+	// zero; the floor must keep the prediction positive and the pick
+	// stable.
+	observer(t, r).ObserveTTFT(0, 0)
 	if got := r.Pick(coldReq(1), view(fleet)); got != fleet[0] {
 		t.Fatal("zero-seeded EWMA must not unroute the only replica")
 	}
@@ -104,7 +111,8 @@ func TestAdaptiveTTFTSingleColdReplica(t *testing.T) {
 
 func TestAdaptiveTTFTSticksAndObservesDown(t *testing.T) {
 	fleet := bareFleet(RoleGeneral, RoleGeneral, RoleGeneral)
-	r := AdaptiveTTFT().(*adaptiveTTFT)
+	r := AdaptiveTTFT()
+	obs := observer(t, r)
 	turn := func(n int) *workload.Request {
 		return &workload.Request{ID: n, Session: 7, Turn: n,
 			InputTokens: 1000, OutputTokens: 100,
@@ -116,7 +124,7 @@ func TestAdaptiveTTFTSticksAndObservesDown(t *testing.T) {
 	}
 	// Make the home replica's learned latency terrible: stickiness must
 	// still hold — only overload breaks affinity, not a bad EWMA.
-	r.ObserveTTFT(home.ID, 30*sim.Second)
+	obs.ObserveTTFT(home.ID, 30*sim.Second)
 	if r.Pick(turn(2), view(fleet)) != home {
 		t.Fatal("a slow EWMA alone must not move a healthy session")
 	}
@@ -125,9 +133,12 @@ func TestAdaptiveTTFTSticksAndObservesDown(t *testing.T) {
 	if got := r.Pick(turn(3), view(fleet)); got == home {
 		t.Fatal("overloaded sticky replica must shed the session")
 	}
-	// ReplicaDown forgets both the sessions and the learned latency.
-	r.ReplicaDown(home.ID)
-	if _, ok := r.ewma[home.ID]; ok {
-		t.Fatal("ReplicaDown should drop the dead replica's EWMA")
+	// ReplicaDown forgets both the sessions and the learned latency:
+	// after the crash, a fresh cold request sees the (revived) ID as
+	// never-observed again — the terrible EWMA must not linger.
+	home.outTokens = 0
+	r.(FleetObserver).ReplicaDown(home.ID)
+	if got := r.Pick(coldReq(90), view(fleet)); got != fleet[0] {
+		t.Fatalf("forgotten EWMA should leave all replicas at the floor (lowest ID wins), got %s", got.Name)
 	}
 }

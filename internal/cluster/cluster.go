@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 
+	"muxwise/internal/cluster/epp"
 	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
@@ -43,30 +44,19 @@ import (
 
 // Role marks what a replica is specialised for. The pd-split router
 // steers long-prefill requests to RolePrefill replicas; the other
-// policies ignore roles.
-type Role int
+// policies ignore roles. It aliases the pipeline package's Role so epp
+// stages and fleet specs share one vocabulary.
+type Role = epp.Role
 
 const (
 	// RoleGeneral replicas take any request.
-	RoleGeneral Role = iota
+	RoleGeneral = epp.RoleGeneral
 	// RolePrefill replicas are provisioned for prefill-heavy traffic
 	// (e.g. disaggregated engines with a dedicated prefill instance).
-	RolePrefill
+	RolePrefill = epp.RolePrefill
 	// RoleDecode replicas are provisioned for decode-heavy traffic.
-	RoleDecode
+	RoleDecode = epp.RoleDecode
 )
-
-// String renders the role.
-func (r Role) String() string {
-	switch r {
-	case RolePrefill:
-		return "prefill"
-	case RoleDecode:
-		return "decode"
-	default:
-		return "general"
-	}
-}
 
 // ParseRole parses a role name; the empty string is RoleGeneral.
 func ParseRole(s string) (Role, error) {
@@ -191,6 +181,13 @@ type Replica struct {
 	frozenResult *serve.Result
 	frozenCache  *kvcache.Stats
 }
+
+// EndpointID implements epp.Endpoint: the stable identity pipeline
+// stages key their state by.
+func (r *Replica) EndpointID() int { return r.ID }
+
+// EndpointRole implements epp.Endpoint.
+func (r *Replica) EndpointRole() Role { return r.Role }
 
 // InFlight returns how many routed requests have not finished.
 func (r *Replica) InFlight() int { return r.inFlight }

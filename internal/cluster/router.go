@@ -3,7 +3,6 @@ package cluster
 import (
 	"fmt"
 
-	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
 	"muxwise/internal/sim"
 	"muxwise/internal/workload"
@@ -45,6 +44,12 @@ func (v FleetView) Metrics(window sim.Time) metrics.Snapshot {
 // any internal state by Replica.ID (stable for the life of a run), never
 // by position in the slice, and must tolerate a remembered replica being
 // absent from the current candidates.
+//
+// Pick must return nil (not panic) on an empty candidate view: the
+// cluster queues arrivals while nothing is routable, and the plugin
+// seam does not promise callers a non-empty view. The built-in policies
+// are all epp.Pipeline compositions (see NewPipelineRouter), which
+// guarantee this centrally.
 type Router interface {
 	Name() string
 	Pick(r *workload.Request, view FleetView) *Replica
@@ -80,7 +85,8 @@ const (
 	AdaptiveTTFTPolicy   = "adaptive-ttft"
 )
 
-// builtinPolicies returns the built-in router policies by name.
+// builtinPolicies returns the built-in router policies by name. Every
+// built-in is a filter → scorer → picker composition; see pipeline.go.
 func builtinPolicies() map[string]Policy {
 	return map[string]Policy{
 		RoundRobinPolicy:     RoundRobin,
@@ -112,7 +118,9 @@ func Policies() map[string]Policy { return policyRegistry.all() }
 func PolicyNames() []string { return policyRegistry.names() }
 
 // leastLoaded returns the candidate with the fewest outstanding tokens
-// (ties: fewest in-flight requests, then lowest ID).
+// (ties: fewest in-flight requests, then lowest ID). The routing
+// policies express this as scorer tiers; the migration planner still
+// calls it directly when choosing a takedown destination.
 func leastLoaded(cands []*Replica) *Replica {
 	var best *Replica
 	for _, rep := range cands {
@@ -123,336 +131,4 @@ func leastLoaded(cands []*Replica) *Replica {
 		}
 	}
 	return best
-}
-
-// overloaded reports whether the replica carries more than twice the
-// fleet-mean outstanding tokens (plus slack so near-idle fleets never
-// trigger). Affinity policies break stickiness past this point — the
-// EPP's load-aware guard against hot-spotting a popular session.
-func overloaded(rep *Replica, fleet []*Replica) bool {
-	var total int64
-	for _, r := range fleet {
-		total += r.outTokens
-	}
-	mean := total / int64(len(fleet))
-	const slack = 8192
-	return rep.outTokens > 2*mean+slack
-}
-
-// ---- round-robin ----
-
-type roundRobin struct{ next int }
-
-// RoundRobin cycles through the fleet in replica order.
-func RoundRobin() Router { return &roundRobin{} }
-
-func (p *roundRobin) Name() string { return RoundRobinPolicy }
-
-func (p *roundRobin) Pick(r *workload.Request, view FleetView) *Replica {
-	rep := view.Candidates[p.next%len(view.Candidates)]
-	p.next++
-	return rep
-}
-
-// ---- least-outstanding-tokens ----
-
-type leastTokens struct{}
-
-// LeastTokens routes to the replica with the fewest outstanding
-// (in-flight input+output) tokens.
-func LeastTokens() Router { return leastTokens{} }
-
-func (leastTokens) Name() string { return LeastTokensPolicy }
-
-func (leastTokens) Pick(r *workload.Request, view FleetView) *Replica {
-	return leastLoaded(view.Candidates)
-}
-
-// ---- prefix-cache / session affinity ----
-
-// maxIndexedPages bounds the router's per-replica approximate view of
-// cached radix pages (FIFO eviction), mirroring the EPP's bounded
-// prefix-cache scorer rather than the replicas' real radix trees.
-const maxIndexedPages = 1 << 18
-
-// prefixIndex approximates which leading pages each replica has cached.
-type prefixIndex struct {
-	pages map[kvcache.PageID]struct{}
-	order []kvcache.PageID
-}
-
-func newPrefixIndex() *prefixIndex {
-	return &prefixIndex{pages: map[kvcache.PageID]struct{}{}}
-}
-
-// match counts how many leading pages of the sequence the index holds.
-func (ix *prefixIndex) match(pages []kvcache.PageID) int {
-	n := 0
-	for _, pg := range pages {
-		if _, ok := ix.pages[pg]; !ok {
-			break
-		}
-		n++
-	}
-	return n
-}
-
-// add records pages the replica will cache once the request finishes.
-func (ix *prefixIndex) add(pages []kvcache.PageID) {
-	for _, pg := range pages {
-		if _, ok := ix.pages[pg]; ok {
-			continue
-		}
-		if len(ix.order) >= maxIndexedPages {
-			old := ix.order[0]
-			ix.order = ix.order[1:]
-			delete(ix.pages, old)
-		}
-		ix.pages[pg] = struct{}{}
-		ix.order = append(ix.order, pg)
-	}
-}
-
-// affinity is the shared session-stickiness + prefix-scoring machinery
-// used by the prefix-affinity and pd-split policies. State is keyed by
-// replica ID, not slice position: the candidate set shrinks and grows as
-// the fleet controller mutates the fleet.
-type affinity struct {
-	sessions map[int]int // session -> replica ID
-	index    map[int]*prefixIndex
-}
-
-func newAffinity() *affinity {
-	return &affinity{sessions: map[int]int{}, index: map[int]*prefixIndex{}}
-}
-
-// sticky returns the replica currently owning the request's session, or
-// nil when the session is unknown or its holder is not in the candidate
-// set (starting, draining, failed, or retired).
-func (a *affinity) sticky(r *workload.Request, fleet []*Replica) *Replica {
-	id, ok := a.sessions[r.Session]
-	if !ok {
-		return nil
-	}
-	for _, rep := range fleet {
-		if rep.ID == id {
-			return rep
-		}
-	}
-	return nil
-}
-
-// replicaDown forgets everything pinned to a dead replica: sessions
-// re-stick on their next turn (paying the KV re-prefill there), and the
-// prefix index stops advertising pages that no longer exist anywhere.
-func (a *affinity) replicaDown(id int) {
-	for session, rep := range a.sessions {
-		if rep == id {
-			delete(a.sessions, session)
-		}
-	}
-	delete(a.index, id)
-}
-
-// migrated re-homes a session whose KV streamed to a new holder: the
-// pin follows the KV (unless a turn already re-routed the session
-// elsewhere mid-stream — then the newer pin wins), and the destination's
-// prefix index advertises the migrated pages either way, because they
-// really are cached there now.
-func (a *affinity) migrated(session, from, to int, pages []kvcache.PageID) {
-	if cur, ok := a.sessions[session]; !ok || cur == from {
-		a.sessions[session] = to
-	}
-	ix := a.index[to]
-	if ix == nil {
-		ix = newPrefixIndex()
-		a.index[to] = ix
-	}
-	ix.add(pages)
-}
-
-// divert re-routes a request off its overloaded sticky replica: score
-// the rest of the fleet so the hot replica cannot win on its own cached
-// pages. A single-replica fleet has nowhere else to go.
-func (a *affinity) divert(r *workload.Request, fleet []*Replica, hot *Replica) *Replica {
-	cands := make([]*Replica, 0, len(fleet)-1)
-	for _, rep := range fleet {
-		if rep != hot {
-			cands = append(cands, rep)
-		}
-	}
-	if len(cands) == 0 {
-		return hot
-	}
-	return a.score(r, cands)
-}
-
-// score ranks candidates by matched prefix pages (radix-page hashes of
-// the trace), breaking ties toward the least-loaded replica.
-func (a *affinity) score(r *workload.Request, cands []*Replica) *Replica {
-	var best *Replica
-	bestMatch := -1
-	for _, rep := range cands {
-		m := 0
-		if ix := a.index[rep.ID]; ix != nil {
-			m = ix.match(r.Pages)
-		}
-		switch {
-		case m > bestMatch:
-			best, bestMatch = rep, m
-		case m == bestMatch && rep.outTokens < best.outTokens:
-			best = rep
-		}
-	}
-	return best
-}
-
-// record pins the session to the chosen replica and indexes the pages
-// its radix cache will publish.
-func (a *affinity) record(r *workload.Request, rep *Replica) {
-	a.sessions[r.Session] = rep.ID
-	ix := a.index[rep.ID]
-	if ix == nil {
-		ix = newPrefixIndex()
-		a.index[rep.ID] = ix
-	}
-	ix.add(r.AllPages)
-}
-
-type prefixAffinity struct{ aff *affinity }
-
-// PrefixAffinity keeps multi-turn sessions sticky to the replica holding
-// their KV, scores cold requests by approximate prefix-cache match, and
-// falls back to least-outstanding-tokens — the EPP prefix-cache scorer.
-func PrefixAffinity() Router { return &prefixAffinity{aff: newAffinity()} }
-
-func (p *prefixAffinity) Name() string { return PrefixAffinityPolicy }
-
-// ReplicaDown implements FleetObserver.
-func (p *prefixAffinity) ReplicaDown(id int) { p.aff.replicaDown(id) }
-
-// SessionMigrated implements MigrationObserver.
-func (p *prefixAffinity) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
-	p.aff.migrated(session, from, to, pages)
-}
-
-func (p *prefixAffinity) Pick(r *workload.Request, view FleetView) *Replica {
-	fleet := view.Candidates
-	rep := p.aff.sticky(r, fleet)
-	switch {
-	case rep == nil:
-		rep = p.aff.score(r, fleet)
-	case overloaded(rep, fleet):
-		rep = p.aff.divert(r, fleet, rep)
-	}
-	p.aff.record(r, rep)
-	return rep
-}
-
-// ---- P/D split ----
-
-// defaultPDSplitTokens is the new-context length past which a request
-// counts as long-prefill and is steered to a prefill-heavy replica.
-const defaultPDSplitTokens = 4096
-
-type pdSplit struct {
-	aff       *affinity
-	threshold int
-}
-
-// PDSplit implements the EPP P/D lifecycle decision: sessions stay on
-// the replica holding their KV (the aggregated path, with an overload
-// guard), while cold or diverted requests are classified by prompt
-// length — long prefills take the split path to prefill-role replicas,
-// short ones join the aggregated pool. A session opened by a long
-// prefill therefore lives on its prefill-heavy replica, mirroring the
-// per-request aggregation-vs-disaggregation choice of the unified P/D
-// routing literature. A threshold ≤ 0 selects the default (4096
-// prompt tokens).
-func PDSplit(threshold int) Router {
-	if threshold <= 0 {
-		threshold = defaultPDSplitTokens
-	}
-	return &pdSplit{aff: newAffinity(), threshold: threshold}
-}
-
-func (p *pdSplit) Name() string { return PDSplitPolicy }
-
-// ReplicaDown implements FleetObserver.
-func (p *pdSplit) ReplicaDown(id int) { p.aff.replicaDown(id) }
-
-// SessionMigrated implements MigrationObserver.
-func (p *pdSplit) SessionMigrated(session, from, to int, pages []kvcache.PageID) {
-	p.aff.migrated(session, from, to, pages)
-}
-
-// byRole filters the fleet; an empty result falls back to the fleet.
-func byRole(fleet []*Replica, want func(Role) bool) []*Replica {
-	var out []*Replica
-	for _, rep := range fleet {
-		if want(rep.Role) {
-			out = append(out, rep)
-		}
-	}
-	if len(out) == 0 {
-		return fleet
-	}
-	return out
-}
-
-// without drops hot from the candidates, returning them unchanged when
-// hot is nil or absent.
-func without(cands []*Replica, hot *Replica) []*Replica {
-	if hot == nil {
-		return cands
-	}
-	out := make([]*Replica, 0, len(cands))
-	for _, rep := range cands {
-		if rep != hot {
-			out = append(out, rep)
-		}
-	}
-	return out
-}
-
-// divertPool returns the pool minus the overloaded replica, widening to
-// the rest of the fleet when the pool holds nothing else — an overload
-// guard that cannot shed load is a no-op, so prefer off-role replicas
-// over re-pinning the hot one.
-func divertPool(pool, fleet []*Replica, hot *Replica) []*Replica {
-	if out := without(pool, hot); len(out) > 0 {
-		return out
-	}
-	if out := without(fleet, hot); len(out) > 0 {
-		return out
-	}
-	return pool
-}
-
-func (p *pdSplit) Pick(r *workload.Request, view FleetView) *Replica {
-	fleet := view.Candidates
-	// Cache-hit estimate: a session's reused context lives only on the
-	// replica that served its previous turns. Serving anywhere else is
-	// a cold prefill of the full input — the fleet model simulates no
-	// KV migration — so the routing decision is: keep healthy sessions
-	// on their KV holder (the aggregated path, whatever the holder's
-	// role), and classify cold or diverted requests by the prefill work
-	// they will actually pay, i.e. the whole prompt.
-	sticky := p.aff.sticky(r, fleet)
-	var rep *Replica
-	switch {
-	case sticky != nil && !overloaded(sticky, fleet):
-		rep = sticky
-	case r.InputTokens >= p.threshold:
-		// Split path: long prefill goes to a prefill-heavy replica.
-		// Reaching here with sticky set means it is overloaded, so the
-		// divert must not hand the request straight back to it.
-		pool := byRole(fleet, func(ro Role) bool { return ro == RolePrefill })
-		rep = leastLoaded(divertPool(pool, fleet, sticky))
-	default:
-		pool := byRole(fleet, func(ro Role) bool { return ro != RolePrefill })
-		rep = leastLoaded(divertPool(pool, fleet, sticky))
-	}
-	p.aff.record(r, rep)
-	return rep
 }

@@ -43,15 +43,24 @@ func Routers(o Opts) []Table {
 		},
 	}
 	goodputs := map[string]float64{}
-	names := cluster.PolicyNames()
+	// The trailing entry is not a registered policy but an inline EPP
+	// composition spec — config-only construction competing in the same
+	// sweep as the built-ins, resolved through the same seam the CLI and
+	// WithRouter use.
+	names := append(cluster.PolicyNames(), "epp:scorers=prefix:2,least-tokens:1")
 	for _, name := range names {
+		policy, err := cluster.ResolvePolicy(name)
+		if err != nil {
+			goodputs[name] = 0
+			continue
+		}
 		cfg := cluster.Config{
 			Base: base,
 			Replicas: []cluster.ReplicaSpec{
 				{Engine: "MuxWise", Factory: core.New, Count: 1, Hardware: gpu.A100()},
 				{Engine: "MuxWise", Factory: core.New, Count: 1, Hardware: gpu.H100()},
 			},
-			Policy: cluster.Policies()[name],
+			Policy: policy,
 		}
 		g, feasible, err := cluster.Goodput(cfg, mk, lo, hi)
 		if err != nil || !feasible {

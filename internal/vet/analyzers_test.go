@@ -79,6 +79,7 @@ func TestClassification(t *testing.T) {
 		{"muxwise/internal/par", true, true},
 		{"muxwise/internal/frontier", true, false},
 		{"muxwise/internal/cluster", true, false},
+		{"muxwise/internal/cluster/epp", true, true},
 		{"muxwise/cmd/muxtool", false, false},
 		{"muxwise/internal/vet", false, false},
 		{"fmt", false, false},

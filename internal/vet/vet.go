@@ -205,6 +205,7 @@ var simCriticalPkgs = map[string]bool{
 	modulePath + "/internal/estimator":   true,
 	modulePath + "/internal/serve":       true,
 	modulePath + "/internal/cluster":     true,
+	modulePath + "/internal/cluster/epp": true,
 	modulePath + "/internal/frontier":    true,
 	modulePath + "/internal/obs":         true,
 	modulePath + "/internal/par":         true,
@@ -219,15 +220,17 @@ var simCriticalPkgs = map[string]bool{
 	modulePath + "/internal/experiments": true,
 }
 
-// hotPathPkgs are the pooled hot-path packages from PR 7: per-event
-// closures, fmt formatting, and interface boxing regress the alloc
-// gate here, so muxvet flags them before the benchmark does.
+// hotPathPkgs are the pooled hot-path packages from PR 7, plus the
+// per-request routing pipeline: per-event closures, fmt formatting,
+// and interface boxing regress the alloc gate here, so muxvet flags
+// them before the benchmark does.
 var hotPathPkgs = map[string]bool{
-	modulePath + "/internal/sim":     true,
-	modulePath + "/internal/gpu":     true,
-	modulePath + "/internal/metrics": true,
-	modulePath + "/internal/kvcache": true,
-	modulePath + "/internal/par":     true,
+	modulePath + "/internal/sim":         true,
+	modulePath + "/internal/gpu":         true,
+	modulePath + "/internal/metrics":     true,
+	modulePath + "/internal/kvcache":     true,
+	modulePath + "/internal/par":         true,
+	modulePath + "/internal/cluster/epp": true,
 }
 
 // IsSimCritical reports whether the package at path must stay

@@ -436,9 +436,9 @@ func (d ClusterDeployment) config() (cluster.Config, error) {
 	if name == "" {
 		name = cluster.PrefixAffinityPolicy
 	}
-	policy, ok := cluster.Policies()[name]
-	if !ok {
-		return cluster.Config{}, fmt.Errorf("muxwise: unknown router %q (have %v)", d.Router, RouterPolicies())
+	policy, err := cluster.ResolvePolicy(name)
+	if err != nil {
+		return cluster.Config{}, fmt.Errorf("muxwise: %w", err)
 	}
 	cfg := cluster.Config{Base: base, Policy: policy}
 	for _, rs := range d.Replicas {

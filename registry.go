@@ -82,7 +82,29 @@ func RegisterAutoscaler(name string, mk func() Autoscaler) error {
 
 // RouterPolicies lists every selectable router policy name — built-ins
 // plus everything added through RegisterRouter — in sorted order.
+// Anywhere one of these names is accepted, an inline "epp:" composition
+// spec (see ComposedRouter) is too.
 func RouterPolicies() []string { return cluster.PolicyNames() }
+
+// ComposedRouter builds a router policy from an inline filter → scorer
+// → picker composition spec — the same EPP-style pipeline the built-in
+// policies are made of, assembled from config instead of code:
+//
+//	epp:scorers=prefix:2,least-tokens:1
+//	epp:filters=role:prefill,divert-widen;scorers=least-tokens
+//	epp:picker=round-robin
+//
+// Filters (comma-separated, in order): role:<name|name...>, sticky,
+// divert, divert-widen. Scorers: name[:weight] pairs forming one
+// weighted tier — prefix, session, least-tokens, least-requests,
+// ttft-ewma — with remaining ties broken toward the lowest replica ID.
+// Picker: max-score (default) or round-robin.
+//
+// The returned policy can be registered under a short name with
+// RegisterRouter, and every router-name seam (WithRouter,
+// ClusterDeployment.Router, the muxcluster -router flag) also accepts
+// the spec string directly.
+func ComposedRouter(spec string) (RouterPolicy, error) { return cluster.ParseComposition(spec) }
 
 // AutoscalerPolicies lists every selectable autoscaler name — built-ins
 // plus everything added through RegisterAutoscaler — in sorted order.
