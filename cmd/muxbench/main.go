@@ -81,7 +81,9 @@ func main() {
 	// The frontier sweep lives outside internal/experiments (it drives
 	// the public muxwise.Experiment API, which that package underpins),
 	// so it joins the registry here.
-	registry := append(experiments.Registry(), frontier.BenchExperiment(*frontierReport))
+	registry := append(experiments.Registry(),
+		frontier.BenchExperiment(*frontierReport),
+		frontier.RooflineBenchExperiment())
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")

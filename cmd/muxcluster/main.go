@@ -33,6 +33,12 @@
 //
 //	muxcluster -scenario drain -drain-at 1m
 //	muxcluster -scenario drain -drain-at 1m -migration
+//
+// -cost-model roofline swaps the offline-profiled fitted estimator for
+// the analytical roofline model (docs/roofline.md), which prices any
+// model on any GPU spec — including shapes no profile exists for:
+//
+//	muxcluster -replicas 2xMuxWise/B200 -model Llama-70B -cost-model roofline
 package main
 
 import (
@@ -58,7 +64,7 @@ const replicasGrammar = `accepted -replicas grammar (comma-separated shapes):
     ENGINE  one of the engine names below
     ROLE    general (default), prefill, or decode
     GPUS    devices per replica (positive integer)
-    HW      A100 (default), H100, or H200
+    HW      A100 (default), H100, H200, or B200
   examples:
     4xMuxWise
     6xMuxWise,2xSGLang-PD:prefill@2
@@ -111,7 +117,7 @@ func parseReplicas(spec string) ([]muxwise.ReplicaSpec, error) {
 		}
 		if rs.Hardware != "" {
 			if _, ok := gpu.SpecByName(rs.Hardware); !ok {
-				return nil, fmt.Errorf("unknown hardware %q in %q (want A100, H100, or H200)", rs.Hardware, spec)
+				return nil, fmt.Errorf("unknown hardware %q in %q (want A100, H100, H200, or B200)", rs.Hardware, spec)
 			}
 		}
 		out = append(out, rs)
@@ -351,7 +357,7 @@ type goodputRow struct {
 // for Poisson workloads, Fig. 13 burst scale for profile workloads —
 // and prints one row per policy (JSON with -json).
 func runGoodput(rng string, routers []string, specs []muxwise.ReplicaSpec, sc scenarioOpts,
-	hw string, gpus int, mdl string, slo muxwise.SLO, specFlagSet bool,
+	hw string, gpus int, mdl string, costModel string, slo muxwise.SLO, specFlagSet bool,
 	wl string, seed uint64, n int, asJSON bool) error {
 	loS, hiS, ok := strings.Cut(rng, ":")
 	if !ok {
@@ -389,6 +395,9 @@ func runGoodput(rng string, routers []string, specs []muxwise.ReplicaSpec, sc sc
 				}
 				return t
 			}),
+		}
+		if costModel != "" {
+			opts = append(opts, muxwise.WithCostModel(costModel))
 		}
 		if dep.Fleet != nil {
 			opts = append(opts, muxwise.WithFleetOptions(*dep.Fleet))
@@ -433,7 +442,10 @@ func main() {
 	autoscaler := flag.String("autoscaler", "backlog",
 		"autoscale scenario policy ("+strings.Join(muxwise.AutoscalerPolicies(), ", ")+")")
 	mdl := flag.String("model", "Llama-8B", "model name")
-	hw := flag.String("hw", "A100", "hardware: A100, H100, H200")
+	hw := flag.String("hw", "A100", "hardware: A100, H100, H200, B200")
+	costModel := flag.String("cost-model", "",
+		"step-time estimator: "+strings.Join(muxwise.CostModels(), " or ")+
+			" (default fitted; roofline covers any model on any GPU, e.g. -hw B200)")
 	gpus := flag.Int("gpus", 1, "GPUs per replica (overridable per shape with @N)")
 	wl := flag.String("workload", "mixed", "workload: mixed, conversation, toolagent, sharegpt, loogle, openthoughts")
 	n := flag.Int("n", 120, "sessions (multi-turn) or requests (single-turn) per trace")
@@ -491,7 +503,7 @@ func main() {
 		if err := runGoodput(*goodput, routers, specs, scenarioOpts{
 			name: *scenario, failAt: *failAt, drainAt: *drainAt, minReps: *minReps, maxReps: *maxReps,
 			coldStart: *coldStart, autoscaler: *autoscaler, migration: *migration,
-		}, *hw, *gpus, *mdl, slo, specFlagSet, *wl, *seed, *n, *asJSON); err != nil {
+		}, *hw, *gpus, *mdl, *costModel, slo, specFlagSet, *wl, *seed, *n, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "muxcluster:", err)
 			os.Exit(1)
 		}
@@ -522,6 +534,9 @@ func main() {
 			muxwise.WithDeployment(dep.Deployment),
 			muxwise.WithFleet(dep.Replicas...),
 			muxwise.WithRouter(dep.Router),
+		}
+		if *costModel != "" {
+			opts = append(opts, muxwise.WithCostModel(*costModel))
 		}
 		if dep.Fleet != nil {
 			opts = append(opts, muxwise.WithFleetOptions(*dep.Fleet))

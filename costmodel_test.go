@@ -1,0 +1,120 @@
+package muxwise_test
+
+import (
+	"math"
+	"testing"
+
+	"muxwise"
+)
+
+// run serves the shared MixedBursty trace on one deployment under the
+// named cost model and returns the report.
+func runCostModel(t *testing.T, hw, mdl, cost string, gpus int) *muxwise.Report {
+	t.Helper()
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: hw, GPUs: gpus, Model: mdl}),
+		muxwise.WithEngine("MuxWise"),
+		muxwise.WithCostModel(cost),
+	)
+	rep, err := exp.Run(muxwise.MixedBursty(41, 60, 0.5))
+	if err != nil {
+		t.Fatalf("%s/%s under %s: %v", hw, mdl, cost, err)
+	}
+	return rep
+}
+
+// TestRooflineFittedTraceAgreement is the tentpole's acceptance band:
+// over the MixedBursty trace on the two profiled GPUs, swapping the
+// fitted estimator for the analytical roofline model moves end-to-end
+// TTFT and TBT by at most 15%. The cost model steers scheduling
+// (partition choice, admission, SLO headroom), so this is a behavioural
+// bound, not a per-kernel one — docs/roofline.md records the measured
+// gaps.
+func TestRooflineFittedTraceAgreement(t *testing.T) {
+	const band = 0.15
+	for _, tc := range []struct {
+		hw, mdl string
+		gpus    int
+	}{
+		{"A100", "Llama-8B", 8},
+		{"H100", "Llama-8B", 8},
+	} {
+		t.Run(tc.hw, func(t *testing.T) {
+			fitted := runCostModel(t, tc.hw, tc.mdl, muxwise.CostFitted, tc.gpus)
+			roof := runCostModel(t, tc.hw, tc.mdl, muxwise.CostRoofline, tc.gpus)
+			if fitted.Summary.Finished != fitted.Summary.Requests {
+				t.Fatalf("fitted run left %d unfinished",
+					fitted.Summary.Requests-fitted.Summary.Finished)
+			}
+			if roof.Summary.Finished != roof.Summary.Requests {
+				t.Fatalf("roofline run left %d unfinished",
+					roof.Summary.Requests-roof.Summary.Finished)
+			}
+			check := func(name string, got, want float64) {
+				if want <= 0 {
+					t.Fatalf("%s: fitted baseline %.6g not positive", name, want)
+				}
+				gap := math.Abs(got-want) / want
+				t.Logf("%s: roofline %.4gs vs fitted %.4gs (%.1f%%)", name, got, want, gap*100)
+				if gap > band {
+					t.Errorf("%s diverges %.1f%% under the roofline cost model (band %.0f%%)",
+						name, gap*100, band*100)
+				}
+			}
+			check("TTFT avg", roof.Summary.TTFT.Avg, fitted.Summary.TTFT.Avg)
+			check("TTFT p99", roof.Summary.TTFT.P99, fitted.Summary.TTFT.P99)
+			check("TBT avg", roof.Summary.TBT.Avg, fitted.Summary.TBT.Avg)
+			check("TBT p99", roof.Summary.TBT.P99, fitted.Summary.TBT.P99)
+		})
+	}
+}
+
+// TestCostModelValidation: the option rejects unknown names eagerly, at
+// experiment construction, and the registry lists both models.
+func TestCostModelValidation(t *testing.T) {
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{Hardware: "A100", GPUs: 1, Model: "Llama-8B"}),
+		muxwise.WithEngine("MuxWise"),
+		muxwise.WithCostModel("datasheet"),
+	)
+	if _, err := exp.Run(muxwise.ShareGPT(1, 2).WithPoissonArrivals(1, 1)); err == nil {
+		t.Fatal("unknown cost model accepted")
+	}
+	got := muxwise.CostModels()
+	want := map[string]bool{muxwise.CostFitted: false, muxwise.CostRoofline: false}
+	for _, name := range got {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("CostModels() = %v, missing %q", got, name)
+		}
+	}
+}
+
+// TestRooflineUnprofiledPair: the pair no fitted profile exists for —
+// Llama-70B on B200 — must serve end-to-end under the roofline model and
+// meet its large-model SLO at a moderate rate (the frontier golden pins
+// the full sweep; this is the single-replica smoke check).
+func TestRooflineUnprofiledPair(t *testing.T) {
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{
+			Hardware: "B200", GPUs: 2, Model: "Llama-70B",
+			SLO: muxwise.SLO{TTFT: 2 * muxwise.Second, TBT: 100 * muxwise.Millisecond},
+		}),
+		muxwise.WithEngine("MuxWise"),
+		muxwise.WithCostModel(muxwise.CostRoofline),
+	)
+	rep, err := exp.Run(muxwise.ToolAgent(7, 40).WithPoissonArrivals(7, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Finished != rep.Summary.Requests {
+		t.Fatalf("finished %d/%d", rep.Summary.Finished, rep.Summary.Requests)
+	}
+	if rep.Attainment < 0.95 {
+		t.Fatalf("Llama-70B on B200 attainment %.3f", rep.Attainment)
+	}
+}

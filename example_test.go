@@ -92,6 +92,34 @@ func ExampleRegisterRouter() {
 	// all finished: true
 }
 
+// ExampleWithCostModel serves a model/GPU pair no offline profile exists
+// for — Llama-70B on B200 — by swapping the fitted step-time estimator
+// for the analytical roofline model (docs/roofline.md): per-phase time
+// computed from the architecture's FLOP/byte counts and the GPU
+// datasheet, so any catalog pair (docs/hardware.md) serves immediately.
+func ExampleWithCostModel() {
+	trace := muxwise.ToolAgent(7, 30).WithPoissonArrivals(7, 0.8)
+	exp := muxwise.NewExperiment(
+		muxwise.WithDeployment(muxwise.Deployment{
+			Hardware: "B200", GPUs: 2, Model: "Llama-70B",
+			SLO: muxwise.SLO{TTFT: 2 * muxwise.Second, TBT: 100 * muxwise.Millisecond},
+		}),
+		muxwise.WithEngine("MuxWise"),
+		muxwise.WithCostModel(muxwise.CostRoofline),
+	)
+	report, err := exp.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost models: %v\n", muxwise.CostModels())
+	fmt.Printf("finished %d/%d requests\n", report.Summary.Finished, report.Summary.Requests)
+	fmt.Printf("meets the TBT SLO: %v\n", report.Attainment >= 0.99)
+	// Output:
+	// cost models: [fitted roofline]
+	// finished 57/57 requests
+	// meets the TBT SLO: true
+}
+
 // ExampleWithTrace attaches a flight recorder to a fleet run and exports
 // the captured request, router and fleet activity as a Chrome trace
 // (loadable in Perfetto) without perturbing the simulation.

@@ -44,6 +44,7 @@ type Experiment struct {
 	epochs   Time
 	mk       func(rate float64) *Trace
 	trace    *FlightRecorder
+	cost     string
 	errs     []error
 }
 
@@ -119,6 +120,35 @@ func WithFleet(replicas ...ReplicaSpec) Option {
 func WithRouter(name string) Option {
 	return func(e *Experiment) { e.router = name }
 }
+
+// WithCostModel selects the step-time estimator engines schedule
+// against: "fitted" (default) is the paper's offline-profiled
+// max-of-two-planes model with the co-run slowdown guard, available only
+// for the hand-profiled (model, GPU) pairs; "roofline" is the analytical
+// datasheet model (internal/roofline) that covers any model on any GPU —
+// the only way to run B200-class hardware. See CostModels() for the
+// recognised names and docs/roofline.md for the model and its validation.
+func WithCostModel(name string) Option {
+	return func(e *Experiment) {
+		if !serve.ValidCostModel(name) {
+			e.failf("WithCostModel: unknown cost model %q (have %v)", name, serve.CostModels())
+			return
+		}
+		e.cost = name
+	}
+}
+
+// CostModels returns the cost model names WithCostModel accepts.
+func CostModels() []string { return serve.CostModels() }
+
+// Cost model names accepted by WithCostModel.
+const (
+	// CostFitted is the paper's offline-profiled estimator (the default).
+	CostFitted = serve.CostFitted
+	// CostRoofline is the analytical datasheet model: any model on any
+	// GPU, no profiling.
+	CostRoofline = serve.CostRoofline
+)
 
 // WithAutoscaler attaches the named autoscaler to the fleet — a built-in
 // or anything added through RegisterAutoscaler (see AutoscalerPolicies()).
@@ -283,6 +313,7 @@ func (e *Experiment) resolve() (resolved, error) {
 		if err != nil {
 			return resolved{}, err
 		}
+		cfg.CostModel = e.cost
 		return resolved{factory: f, cfg: cfg.WithDefaults(), slo: cfg.SLO}, nil
 	}
 	cd := ClusterDeployment{Deployment: dep, Replicas: e.replicas, Router: e.router}
@@ -294,6 +325,7 @@ func (e *Experiment) resolve() (resolved, error) {
 	if err != nil {
 		return resolved{}, err
 	}
+	cfg.Base.CostModel = e.cost
 	cfg.Base = cfg.Base.WithDefaults()
 	return resolved{cluster: cfg, isFleet: true, slo: cfg.Base.SLO}, nil
 }

@@ -18,7 +18,6 @@
 package core
 
 import (
-	"muxwise/internal/estimator"
 	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
@@ -99,7 +98,7 @@ type Engine struct {
 	decodeP  *gpu.Partition
 	prefillP *gpu.Partition
 	pool     *kvcache.Pool
-	est      *estimator.Estimator
+	est      serve.CostModel
 
 	decode          serve.Batch
 	decodeRunning   bool
@@ -143,9 +142,10 @@ func NewWithOptions(env *serve.Env, opts Options) *Engine {
 		opts: opts,
 		dev:  dev,
 		pool: kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
-		// Fork: this engine refines the contention guard online, and
-		// concurrent sweep probes must not share mutable guard state.
-		est: estimator.New(env.Spec, env.GPUs, env.Arch).Fork(),
+		// The fitted default arrives forked: this engine refines the
+		// contention guard online, and concurrent sweep probes must not
+		// share mutable guard state.
+		est: env.Cost(),
 	}
 	e.configs = env.Spec.PartitionSizes()
 	e.curConfig = env.Spec.SMs
@@ -428,7 +428,7 @@ func (e *Engine) onDecodeDone() {
 	if e.active != nil && e.decodeSolo > 0 {
 		actual := now - e.decodeIterStart - e.env.Spec.GraphLaunch
 		slow := float64(actual) / float64(e.decodeSolo)
-		e.est.Guard().Observe(e.active.newTokens(), e.active.reusedTokens(),
+		e.est.ObserveSlowdown(e.active.newTokens(), e.active.reusedTokens(),
 			e.decode.Size(), e.decode.TotalCtx(), e.curConfig, slow)
 	}
 

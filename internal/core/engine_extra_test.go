@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"muxwise/internal/estimator"
 	"muxwise/internal/gpu"
 	"muxwise/internal/metrics"
 	"muxwise/internal/model"
@@ -169,7 +170,8 @@ func TestGuardRuntimeRefinement(t *testing.T) {
 		SLO: cfg.SLO, Rec: rec, ReserveFrac: 0.1, MaxBatch: 256,
 	}
 	e := NewWithOptions(env, DefaultOptions())
-	before := e.est.Guard().Cells()
+	fitted := e.est.(*estimator.Estimator)
+	before := fitted.Guard().Cells()
 	tr := workload.ToolAgent(34, 30).WithPoissonArrivals(34, 3)
 	for _, r := range tr.Requests {
 		r := r
@@ -178,7 +180,7 @@ func TestGuardRuntimeRefinement(t *testing.T) {
 	}
 	s.Run()
 	// Cells can only grow (Observe adds unseen cells).
-	if e.est.Guard().Cells() < before {
+	if fitted.Guard().Cells() < before {
 		t.Fatal("guard lost cells during serving")
 	}
 }

@@ -335,6 +335,13 @@ func (e *Estimator) DecodeWorst(totalCtx, bs, sms, prefillNew, prefillReused int
 // Guard exposes the contention guard (for runtime refinement).
 func (e *Estimator) Guard() *Guard { return e.guard }
 
+// ObserveSlowdown refines the contention guard with a runtime slowdown
+// measurement (actual / predicted-solo) — the cost-model seam's
+// online-refinement hook.
+func (e *Estimator) ObserveSlowdown(prefillNew, prefillReused, bs, totalCtx, sms int, slowdown float64) {
+	e.guard.Observe(prefillNew, prefillReused, bs, totalCtx, sms, slowdown)
+}
+
 // MaxDeviation evaluates predictor accuracy across a validation grid,
 // returning the maximum relative deviation for prefill and decode — the
 // quantities the paper reports as 8.16% and 8.84%.

@@ -93,6 +93,11 @@ type Matrix struct {
 	// MaxSpawn bounds how many replicas the autoscaler may add on top of
 	// the initial fleet (default 2).
 	MaxSpawn int
+	// CostModel selects the step-time estimator for every cell: "" or
+	// "fitted" for the paper's profiled planes, "roofline" for the
+	// analytical datasheet model (required for shapes with no profile,
+	// e.g. B200 or Llama-70B compositions).
+	CostModel string
 }
 
 // Default returns the reference Fig. 13 frontier matrix: an aggregated
@@ -135,6 +140,48 @@ func Default(quick bool) Matrix {
 		DrainFrac:  0.4,
 		ColdStart:  15 * muxwise.Second,
 		MaxSpawn:   2,
+	}
+}
+
+// Roofline returns the frontier matrix the fitted estimator cannot
+// sweep: Llama-70B on next-generation hardware, priced by the analytical
+// roofline cost model (internal/roofline). An aggregated 2×B200 MuxWise
+// fleet is compared against a disaggregated B200 P/D split and an
+// H200-based aggregated fleet of the same replica count, answering the
+// ROADMAP's H200/B200-composition and 70B-SLO questions on the same
+// goodput-per-GPU axis as Default. quick shrinks the trace and scale grid
+// to the CI-sized sweep the committed golden pins.
+func Roofline(quick bool) Matrix {
+	o := experiments.Opts{Quick: quick}
+	scales := []float64{0.5, 1, 2, 4}
+	if quick {
+		scales = []float64{0.5, 2}
+	}
+	return Matrix{
+		Name: "roofline-b200-70b",
+		Deployment: muxwise.Deployment{
+			Hardware: "B200", GPUs: 2, Model: "Llama-70B",
+			SLO: muxwise.SLO{TTFT: 2 * muxwise.Second, TBT: 100 * muxwise.Millisecond},
+		},
+		Compositions: []Composition{
+			{Name: "aggregated", Replicas: []muxwise.ReplicaSpec{
+				{Engine: "MuxWise", Count: 2},
+			}},
+			{Name: "disaggregated", Replicas: []muxwise.ReplicaSpec{
+				{Engine: "SGLang-PD", Count: 2, Role: "prefill"},
+				{Engine: "SGLang-PD", Count: 2, Role: "decode"},
+			}},
+			{Name: "aggregated-h200", Replicas: []muxwise.ReplicaSpec{
+				{Engine: "MuxWise", Count: 2, Hardware: "H200"},
+			}},
+		},
+		Baseline:   "aggregated",
+		Routers:    []string{"least-tokens"},
+		Conditions: []string{Steady},
+		Scales:     scales,
+		Sessions:   o.Size(120, 40),
+		Seed:       17,
+		CostModel:  muxwise.CostRoofline,
 	}
 }
 
@@ -270,6 +317,7 @@ func Run(m Matrix) (*Report, error) {
 			Scales:       roundAll(m.Scales),
 			Sessions:     m.Sessions,
 			Seed:         m.Seed,
+			CostModel:    m.CostModel,
 		},
 	}
 	for _, o := range results {
@@ -314,6 +362,9 @@ func (m Matrix) runCell(comp Composition, cond, router string, scale float64) (C
 		muxwise.WithDeployment(m.Deployment),
 		muxwise.WithFleet(comp.Replicas...),
 		muxwise.WithRouter(router),
+	}
+	if m.CostModel != "" {
+		opts = append(opts, muxwise.WithCostModel(m.CostModel))
 	}
 	switch cond {
 	case Failure:

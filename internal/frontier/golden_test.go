@@ -45,6 +45,67 @@ func goldenPath(condition string) string {
 	return filepath.Join("testdata", "frontier", condition+".golden.json")
 }
 
+// The roofline matrix (Llama-70B on B200 — no fitted profile exists for
+// either half of that pair) also runs once and is shared.
+var (
+	rooflineOnce sync.Once
+	rooflineRep  *Report
+	rooflineErr  error
+)
+
+func rooflineReport(t *testing.T) *Report {
+	t.Helper()
+	rooflineOnce.Do(func() {
+		rooflineRep, rooflineErr = Run(Roofline(true))
+	})
+	if rooflineErr != nil {
+		t.Fatalf("roofline quick matrix: %v", rooflineErr)
+	}
+	return rooflineRep
+}
+
+// TestRooflineGolden pins the analytical-cost-model frontier: every cell
+// of the B200/Llama-70B sweep, a point in hardware×model space that is
+// reachable only through -cost-model roofline. The golden guards both
+// the roofline physics and the cost-model plumbing end to end
+// (experiment options → serve.Config → every replica in the fleet).
+func TestRooflineGolden(t *testing.T) {
+	rep := rooflineReport(t)
+	if rep.Grid.CostModel != "roofline" {
+		t.Fatalf("grid cost model %q, want roofline", rep.Grid.CostModel)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("roofline sweep produced no cells")
+	}
+	for _, c := range rep.Cells {
+		if c.Offered == 0 {
+			t.Errorf("%s: no requests offered", c.key())
+		}
+	}
+	path := goldenPath("roofline")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", path, len(rep.Cells))
+		return
+	}
+	want, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("load golden (run with -update to regenerate): %v", err)
+	}
+	diffs := Compare(rep, want, DefaultTolerance())
+	for _, d := range diffs {
+		t.Errorf("%s", d)
+	}
+	if len(diffs) > 0 {
+		t.Logf("%d mismatches against %s — if the shift is intentional, regenerate with -update", len(diffs), path)
+	}
+}
+
 // TestGolden pins every cell, frontier leader and crossover point of the
 // quick matrix against the committed per-condition goldens, within the
 // default tolerance bands.

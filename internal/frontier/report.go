@@ -48,6 +48,10 @@ type Grid struct {
 	Scales       []float64 `json:"scales"`
 	Sessions     int       `json:"sessions"`
 	Seed         uint64    `json:"seed"`
+	// CostModel names the step-time estimator the sweep ran under; empty
+	// means the fitted default (omitted so pre-existing goldens stay
+	// byte-identical).
+	CostModel string `json:"cost_model,omitempty"`
 }
 
 // Cell is one point of the sweep: a composition serving the Fig. 13 mix

@@ -89,3 +89,22 @@ func BenchExperiment(reportPath string) experiments.Experiment {
 		},
 	}
 }
+
+// RooflineBenchExperiment sweeps the Roofline matrix: Llama-70B on B200,
+// a hardware point that has no fitted profile and is reachable only
+// through the analytical cost model (docs/roofline.md). Same exit
+// discipline as BenchExperiment.
+func RooflineBenchExperiment() experiments.Experiment {
+	return experiments.Experiment{
+		ID:    "roofline",
+		Paper: "beyond the paper: analytical roofline frontier — Llama-70B on B200 with no fitted profile",
+		Run: func(o experiments.Opts) []experiments.Table {
+			rep, err := Run(Roofline(o.Quick))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roofline: %v\n", err)
+				os.Exit(1)
+			}
+			return Tables(rep)
+		},
+	}
+}

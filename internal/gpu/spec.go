@@ -130,8 +130,35 @@ func H200() Spec {
 	return s
 }
 
-// SpecByName looks up a built-in spec ("A100", "H100", "H200"). It returns
-// false for unknown names.
+// B200 returns the spec of an NVIDIA B200-SXM6-180GB. Blackwell is a
+// dual-die package; the simulator models the package as one GPU at
+// aggregate datasheet rates (2.25 PFLOP/s dense bf16, 7.7 TB/s HBM3e)
+// with an effective SM count that keeps the 16-SM partition step of
+// the Hopper green-context model. There is no fitted-plane profile for
+// this part — it is reachable only through the roofline cost model.
+func B200() Spec {
+	return Spec{
+		Name:                 "B200-180G",
+		SMs:                  148,
+		TensorFLOPS:          2.25e15,
+		HBMBandwidth:         7.7e12,
+		HBMCapacity:          180 << 30,
+		NVLinkBandwidth:      1.8e12,
+		PCIeBandwidth:        128e9,
+		BWSaturationFrac:     0.45,
+		MFUPrefill:           0.45,
+		MFUDecode:            0.25,
+		SatTokensPerSM:       1.10,
+		GraphLaunch:          450 * sim.Microsecond,
+		LayerLaunch:          120 * sim.Microsecond,
+		ReconfigSync:         10 * sim.Microsecond,
+		PartitionGranularity: 16,
+		MinPartition:         16,
+	}
+}
+
+// SpecByName looks up a built-in spec ("A100", "H100", "H200", "B200").
+// It returns false for unknown names.
 func SpecByName(name string) (Spec, bool) {
 	switch name {
 	case "A100", "A100-80G", "a100":
@@ -140,8 +167,17 @@ func SpecByName(name string) (Spec, bool) {
 		return H100(), true
 	case "H200", "H200-141G", "h200":
 		return H200(), true
+	case "B200", "B200-180G", "b200":
+		return B200(), true
 	}
 	return Spec{}, false
+}
+
+// Catalog returns every built-in spec in generation order. docs/hardware.md
+// is generated from this list; adding a spec here (plus a SpecByName case)
+// is the whole recipe for new hardware under the roofline cost model.
+func Catalog() []Spec {
+	return []Spec{A100(), H100(), H200(), B200()}
 }
 
 // PartitionSizes returns the valid decode-partition SM counts for this

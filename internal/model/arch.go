@@ -151,6 +151,13 @@ func CodeLlama34B() Arch {
 	}
 }
 
+// Catalog returns every registry model in size order. docs/hardware.md is
+// generated from this list; adding a preset here (plus a ByName case) is
+// the whole recipe for new models under the roofline cost model.
+func Catalog() []Arch {
+	return []Arch{Llama8B(), CodeLlama34B(), Llama70B(), Qwen235B()}
+}
+
 // ByName looks up a registry model.
 func ByName(name string) (Arch, bool) {
 	switch name {

@@ -170,6 +170,42 @@ func (a Arch) DecodeIter(ctxs []int, tp int) Cost {
 	return c
 }
 
+// DecodeIterTotals returns the same cost as DecodeIter for a batch of bs
+// requests whose attended context lengths sum to totalCtx. DecodeIter's
+// formulas depend only on those two totals, so callers that already carry
+// aggregates (the estimators' hot paths) can avoid materialising a ctxs
+// slice.
+func (a Arch) DecodeIterTotals(totalCtx, bs, tp int) Cost {
+	var c Cost
+	if bs <= 0 {
+		return c
+	}
+	bsf := float64(bs)
+	ctxf := float64(totalCtx)
+	kvTok := a.KVBytesPerTokenLayer()
+	perLayerFLOPs := 2*bsf*(a.qkvoParams()+a.ffnParamsActive()) +
+		4*float64(a.Heads*a.HeadDim)*(ctxf+bsf)
+	var weights float64
+	if a.MoE() {
+		weights = a.moeWeightBytes(bs)
+	} else {
+		weights = a.LayerWeightBytes()
+	}
+	perLayerBytes := weights +
+		(ctxf+bsf)*kvTok +
+		bsf*kvTok +
+		bsf*a.activationBytesPerToken()
+	perLayerComm := ringFactor(tp) * 2 * bsf * float64(a.Hidden) * float64(a.BytesPerParam)
+
+	c.FLOPs = float64(a.Layers) * perLayerFLOPs
+	c.Bytes = float64(a.Layers) * perLayerBytes
+	c.CommBytes = float64(a.Layers) * perLayerComm
+	c.Tokens = bs
+	c.FLOPs += 2 * bsf * float64(a.Hidden) * float64(a.Vocab)
+	c.Bytes += float64(a.Vocab) * float64(a.Hidden) * float64(a.BytesPerParam)
+	return c
+}
+
 // FusedChunkIter returns the cost of a chunked-prefill iteration that
 // fuses a prefill chunk with a decode step (SARATHI-style). Weights are
 // streamed once; the chunk re-reads the KV of all previously processed

@@ -1,0 +1,197 @@
+package roofline_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"muxwise/internal/gpu"
+	"muxwise/internal/model"
+	"muxwise/internal/roofline"
+)
+
+// -update-hardware-doc regenerates docs/hardware.md from the live
+// catalogs:
+//
+//	go test ./internal/roofline -run TestHardwareDocUpToDate -update-hardware-doc
+var updateHardwareDoc = flag.Bool("update-hardware-doc", false, "rewrite docs/hardware.md from gpu.Catalog/model.Catalog")
+
+// hardwareDocPath locates docs/hardware.md relative to this package.
+const hardwareDocPath = "../../docs/hardware.md"
+
+// TestHardwareDocUpToDate pins docs/hardware.md to the code: the
+// committed file must be byte-identical to what the generator renders
+// from gpu.Catalog(), model.Catalog() and the roofline model today.
+// Adding a spec or arch preset fails this test until the doc is
+// regenerated, so the catalog can never silently drift.
+func TestHardwareDocUpToDate(t *testing.T) {
+	want := hardwareDoc()
+	if *updateHardwareDoc {
+		if err := os.MkdirAll(filepath.Dir(hardwareDocPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(hardwareDocPath, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", hardwareDocPath, len(want))
+		return
+	}
+	got, err := os.ReadFile(hardwareDocPath)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with -update-hardware-doc): %v", hardwareDocPath, err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s is stale: the catalogs or the roofline model changed — regenerate with\n\n\tgo test ./internal/roofline -run TestHardwareDocUpToDate -update-hardware-doc", hardwareDocPath)
+	}
+	// Spot-check the generated content actually covers the catalogs.
+	for _, s := range gpu.Catalog() {
+		if !strings.Contains(want, s.Name) {
+			t.Errorf("generated doc is missing GPU %s", s.Name)
+		}
+	}
+	for _, a := range model.Catalog() {
+		if !strings.Contains(want, a.Name) {
+			t.Errorf("generated doc is missing model %s", a.Name)
+		}
+	}
+}
+
+// hardwareDoc renders the full docs/hardware.md. It lives in a test file
+// on purpose: the doc is regenerated through this test, and the
+// Sprintf-heavy rendering stays out of the simulation-critical package
+// body that muxvet's hot-path analyzers police.
+func hardwareDoc() string {
+	var b strings.Builder
+	gpus := gpu.Catalog()
+	archs := model.Catalog()
+
+	b.WriteString(`# Hardware and model catalog
+
+> Generated from code — do not edit by hand. After changing
+> ` + "`gpu.Catalog()` or `model.Catalog()`" + `, regenerate with
+>
+>     go test ./internal/roofline -run TestHardwareDocUpToDate -update-hardware-doc
+
+Every GPU and model the simulator knows about, with the datasheet numbers
+the [roofline cost model](roofline.md) runs on. The fitted cost model
+(the default) additionally needs an offline profiling pass per
+(model, GPU) pair; the roofline model serves any pair below analytically.
+
+## GPUs (` + "`internal/gpu.Catalog`" + `)
+
+`)
+	b.WriteString("| Spec | SMs | Tensor | HBM BW | HBM | NVLink | PCIe | BW sat | MFU pre/dec | Sat tok/SM | Graph launch | Layer launch |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, s := range gpus {
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %d GiB | %s | %s | %.2f | %.2f / %.2f | %.2f | %g µs | %g µs |\n",
+			s.Name, s.SMs, rate(s.TensorFLOPS, "FLOP/s"), rate(s.HBMBandwidth, "B/s"),
+			s.HBMCapacity>>30, rate(s.NVLinkBandwidth, "B/s"), rate(s.PCIeBandwidth, "B/s"),
+			s.BWSaturationFrac, s.MFUPrefill, s.MFUDecode, s.SatTokensPerSM,
+			s.GraphLaunch.Seconds()*1e6, s.LayerLaunch.Seconds()*1e6)
+	}
+
+	b.WriteString("\nDecode partition menus (SMs per GPU, stepping by the partition\ngranularity; the complement runs prefill):\n\n")
+	for _, s := range gpus {
+		sizes := s.PartitionSizes()
+		parts := make([]string, len(sizes))
+		for i, sm := range sizes {
+			parts[i] = fmt.Sprint(sm)
+		}
+		fmt.Fprintf(&b, "- **%s**: %s (+ whole device at %d)\n",
+			s.Name, strings.Join(parts, ", "), s.SMs)
+	}
+
+	b.WriteString(`
+## Models (` + "`internal/model.Catalog`" + `)
+
+`)
+	b.WriteString("| Arch | Layers | Hidden | Heads (KV) | Head dim | FFN | Experts (active) | Vocab | Params | Weights | KV bytes/token |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, a := range archs {
+		ffn := fmt.Sprint(a.FFN)
+		experts := "—"
+		if a.MoE() {
+			ffn = fmt.Sprintf("%d/expert", a.ExpertFFN)
+			experts = fmt.Sprintf("%d (%d)", a.Experts, a.ActiveExperts)
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %d (%d) | %d | %s | %s | %d | %.1fB | %.0f GiB | %.0f KiB |\n",
+			a.Name, a.Layers, a.Hidden, a.Heads, a.KVHeads, a.HeadDim, ffn, experts,
+			a.Vocab, a.Params()/1e9, a.WeightBytes()/(1<<30), a.KVBytesPerToken()/(1<<10))
+	}
+
+	b.WriteString(`
+## Roofline cross table — any model on any GPU
+
+Analytical solo step times from ` + "`internal/roofline`" + `, one GPU (TP=1), the
+full device: decode is one iteration of a 32-request batch at 4096 tokens
+of context each; prefill is a full layer-pipelined phase over one
+4096-token prompt. Latency only — weight/KV capacity feasibility is not
+implied (the big models need a TP group in practice).
+
+`)
+	b.WriteString("| decode / prefill |")
+	for _, s := range gpus {
+		fmt.Fprintf(&b, " %s |", s.Name)
+	}
+	b.WriteString("\n|---|")
+	for range gpus {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, a := range archs {
+		fmt.Fprintf(&b, "| %s |", a.Name)
+		for _, s := range gpus {
+			m := roofline.New(s, 1, a)
+			dec := m.DecodeSolo(32*4096, 32, s.SMs).Seconds() * 1e3
+			pre := m.PrefillPhase([]model.Seq{{New: 4096}}, s.SMs).Seconds() * 1e3
+			fmt.Fprintf(&b, " %.1f / %.0f ms |", dec, pre)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString(`
+## Adding a new GPU or model
+
+A new GPU is one datasheet away:
+
+1. Add a constructor in ` + "`internal/gpu/spec.go`" + ` filling every ` + "`Spec`" + ` field
+   (peak dense bf16 FLOP/s, HBM bandwidth/capacity, NVLink/PCIe rates,
+   and the partition fields — granularity 16 and a 16-SM minimum on
+   Hopper-class and newer parts). The MFU, saturation and launch terms
+   are the only judgement calls; start from the closest existing
+   generation and see [roofline.md](roofline.md) for what each one does.
+2. List it in ` + "`gpu.Catalog()`" + ` and add a ` + "`SpecByName`" + ` case (that name is
+   what ` + "`Deployment.Hardware`" + `, ` + "`ReplicaSpec.Hardware`" + ` and muxcluster's
+   ` + "`-hw`" + ` flag accept).
+3. Regenerate this file (command at the top). TestHardwareDocUpToDate
+   fails until you do.
+
+A new model is the same shape: a constructor in
+` + "`internal/model/arch.go`" + ` (set the MoE fields only for MoE parts), a
+` + "`model.Catalog()`" + ` entry, a ` + "`ByName`" + ` case, and a regenerate.
+
+Under ` + "`muxwise.WithCostModel(\"roofline\")`" + ` the new pair serves
+immediately — no profiling pass. The default fitted estimator will also
+run it (it profiles on first use against the simulated device), but its
+regression planes have only been validated on A100/H100; the roofline
+model is the supported path for hardware the fitted planes never saw.
+`)
+	return b.String()
+}
+
+// rate formats a bytes/s or FLOP/s figure in engineering units.
+func rate(v float64, unit string) string {
+	switch {
+	case v >= 1e15:
+		return fmt.Sprintf("%g P%s", v/1e15, unit)
+	case v >= 1e12:
+		return fmt.Sprintf("%g T%s", v/1e12, unit)
+	case v >= 1e9:
+		return fmt.Sprintf("%g G%s", v/1e9, unit)
+	default:
+		return fmt.Sprintf("%g %s", v, unit)
+	}
+}

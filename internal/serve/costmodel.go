@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"muxwise/internal/estimator"
+	"muxwise/internal/model"
+	"muxwise/internal/roofline"
+	"muxwise/internal/sim"
+)
+
+// CostModel is the estimator seam every engine schedules against: solo
+// step-time predictions for both phases, a worst-case decode bound under
+// spatial multiplexing, and the online-refinement hook. The fitted
+// estimator (internal/estimator, the paper's profiled planes) and the
+// analytical roofline (internal/roofline, datasheet-only) both satisfy it,
+// so a deployment picks its model by name without engines knowing which
+// one they got.
+type CostModel interface {
+	// DecodeSolo predicts one decode iteration's solo latency for the
+	// given total attended context, batch size and partition SMs.
+	DecodeSolo(totalCtx, bs, sms int) sim.Time
+	// PrefillPhase predicts a full layer-wise prefill phase's solo
+	// latency for the batch on the given partition SMs.
+	PrefillPhase(seqs []model.Seq, sms int) sim.Time
+	// DecodeWorst bounds a decode iteration's latency under spatial
+	// multiplexing with a prefill batch of the given shape.
+	DecodeWorst(totalCtx, bs, sms, prefillNew, prefillReused int) sim.Time
+	// ObserveSlowdown feeds a measured decode slowdown (actual over
+	// predicted-solo) back into the model. Profiled models refine their
+	// contention guard; analytical models ignore it.
+	ObserveSlowdown(prefillNew, prefillReused, bs, totalCtx, sms int, slowdown float64)
+}
+
+// Cost model names accepted by Config.CostModel and Env.CostModel.
+const (
+	// CostFitted is the paper's offline-profiled max-of-two-planes
+	// estimator with the co-run slowdown guard — the default.
+	CostFitted = "fitted"
+	// CostRoofline is the analytical datasheet model: it covers any
+	// (model, GPU) pair without profiling.
+	CostRoofline = "roofline"
+)
+
+// CostModels returns the recognised cost model names.
+func CostModels() []string { return []string{CostFitted, CostRoofline} }
+
+// ValidCostModel reports whether name selects a known cost model ("" is
+// the fitted default).
+func ValidCostModel(name string) bool {
+	switch name {
+	case "", CostFitted, CostRoofline:
+		return true
+	}
+	return false
+}
+
+// Cost resolves the env's configured cost model. The fitted default is
+// forked so each engine refines its own contention guard; the roofline is
+// stateless and shared as-is.
+func (e *Env) Cost() CostModel {
+	switch e.CostModel {
+	case "", CostFitted:
+		return estimator.New(e.Spec, e.GPUs, e.Arch).Fork()
+	case CostRoofline:
+		return roofline.New(e.Spec, e.GPUs, e.Arch)
+	}
+	panic("serve: unknown cost model " + e.CostModel)
+}

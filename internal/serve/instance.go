@@ -41,6 +41,7 @@ func NewInstance(s *sim.Sim, f Factory, cfg Config, label string) *Instance {
 		Rec:         rec,
 		ReserveFrac: cfg.ReserveFrac,
 		MaxBatch:    cfg.MaxBatch,
+		CostModel:   cfg.CostModel,
 		Trace:       cfg.Trace,
 		Label:       label,
 	}

@@ -25,6 +25,11 @@ type Config struct {
 	// requests are summarised as unstable.
 	Horizon sim.Time
 
+	// CostModel selects the step-time estimator: "fitted" (default, the
+	// paper's offline-profiled planes) or "roofline" (analytical, any
+	// model on any GPU).
+	CostModel string
+
 	// Trace, when non-nil, records the run's flight-recorder events.
 	// Tracing is purely observational: results are byte-identical with
 	// it on or off.

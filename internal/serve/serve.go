@@ -30,6 +30,10 @@ type Env struct {
 	// MaxBatch caps the decode batch size (SGLang default-style).
 	MaxBatch int
 
+	// CostModel names the step-time estimator engines resolve through
+	// Cost(): "fitted" (default) or "roofline".
+	CostModel string
+
 	// Trace is the flight recorder, nil when tracing is off. Engines
 	// emitting their own spans (scheduler phases, partition counters)
 	// read it directly; request lifecycle events flow through Rec.

@@ -8,7 +8,6 @@
 package temporal
 
 import (
-	"muxwise/internal/estimator"
 	"muxwise/internal/gpu"
 	"muxwise/internal/kvcache"
 	"muxwise/internal/metrics"
@@ -26,7 +25,7 @@ type Engine struct {
 	dev  *gpu.Device
 	part *gpu.Partition
 	pool *kvcache.Pool
-	est  *estimator.Estimator
+	est  serve.CostModel
 
 	decode  serve.Batch
 	busy    bool
@@ -55,7 +54,7 @@ func New(env *serve.Env) serve.Engine {
 		dev:  dev,
 		part: dev.Partition(env.Spec.SMs, "serial"),
 		pool: kvcache.New(env.PoolTokens(env.GPUs), kvcache.DefaultPageTokens),
-		est:  estimator.New(env.Spec, env.GPUs, env.Arch),
+		est:  env.Cost(),
 	}
 }
 

@@ -78,6 +78,7 @@ func TestClassification(t *testing.T) {
 		{"muxwise/internal/kvcache", true, true},
 		{"muxwise/internal/par", true, true},
 		{"muxwise/internal/frontier", true, false},
+		{"muxwise/internal/roofline", true, true},
 		{"muxwise/internal/cluster", true, false},
 		{"muxwise/internal/cluster/epp", true, true},
 		{"muxwise/cmd/muxtool", false, false},

@@ -203,6 +203,7 @@ var simCriticalPkgs = map[string]bool{
 	modulePath + "/internal/metrics":     true,
 	modulePath + "/internal/model":       true,
 	modulePath + "/internal/estimator":   true,
+	modulePath + "/internal/roofline":    true,
 	modulePath + "/internal/serve":       true,
 	modulePath + "/internal/cluster":     true,
 	modulePath + "/internal/cluster/epp": true,
@@ -231,6 +232,9 @@ var hotPathPkgs = map[string]bool{
 	modulePath + "/internal/kvcache":     true,
 	modulePath + "/internal/par":         true,
 	modulePath + "/internal/cluster/epp": true,
+	// roofline predictions run on every engine step (the cost-model
+	// seam), so the analytical model is held to the same no-alloc bar.
+	modulePath + "/internal/roofline": true,
 }
 
 // IsSimCritical reports whether the package at path must stay

@@ -136,7 +136,7 @@ func MixedBursty(seed uint64, sessions int, scale float64) *Trace {
 
 // Deployment describes the simulated serving hardware and model.
 type Deployment struct {
-	// Hardware names a GPU spec: "A100", "H100", or "H200".
+	// Hardware names a GPU spec: "A100", "H100", "H200", or "B200".
 	Hardware string
 	// GPUs is the number of devices (tensor-parallel width for
 	// aggregated engines).
@@ -254,7 +254,7 @@ type ReplicaSpec struct {
 	// GPUs overrides the deployment's per-replica device count.
 	GPUs int
 	// Hardware overrides the deployment's GPU spec for this shape
-	// ("A100", "H100", "H200"); empty inherits the deployment. Mixing
+	// ("A100", "H100", "H200", "B200"); empty inherits the deployment. Mixing
 	// shapes builds a heterogeneous fleet, each replica costed by its
 	// own hardware model.
 	Hardware string
